@@ -1,0 +1,160 @@
+"""Ablation benchmarks: remove one mechanism, watch its effect vanish.
+
+Each test pairs the full model with a single-mechanism ablation from
+:mod:`repro.ablation` and shows that the paper-observed effect is caused
+by that mechanism — the reproduction's causal-attribution check.
+"""
+
+from benchmarks.conftest import emit
+from repro.ablation import (
+    phi_fabric_uncontended,
+    phi_with_fast_gather,
+    phi_with_full_scalar_ilp,
+    phi_without_bank_thrash,
+    phi_without_os_reservation,
+    post_update_without_scif,
+)
+from repro.core.report import figure_header, fmt_rate, render_table
+from repro.core.software import POST_UPDATE
+from repro.machine import Device, Processor, xeon_phi_5110p
+from repro.machine.presets import maia_host_processor
+from repro.mpi.collectives import sendrecv_ring_time
+from repro.mpi.fabrics import phi_fabric
+from repro.mpi.protocols import PciePathFabric
+from repro.execmodel.roofline import kernel_gflops
+from repro.npb.characterization import class_c_kernel
+from repro.units import GB, MiB
+
+
+def test_ablate_bank_thrash(benchmark):
+    """Fig 4's STREAM drop beyond 118 threads is the open-bank limit."""
+
+    def run():
+        full = Processor(xeon_phi_5110p())
+        ablated = Processor(phi_without_bank_thrash())
+        return {
+            "full": (full.stream_bandwidth(118), full.stream_bandwidth(177)),
+            "no-thrash": (ablated.stream_bandwidth(118), ablated.stream_bandwidth(177)),
+        }
+
+    data = benchmark(run)
+    rows = [
+        (name, fmt_rate(b118), fmt_rate(b177))
+        for name, (b118, b177) in data.items()
+    ]
+    emit(figure_header("Ablation", "GDDR5 bank thrash (Fig 4's drop)"))
+    emit(render_table(("model", "118 threads", "177 threads"), rows))
+    assert data["full"][1] < 0.85 * data["full"][0]  # the drop
+    assert data["no-thrash"][1] >= data["no-thrash"][0]  # gone
+
+
+def test_ablate_scif_switching(benchmark):
+    """Fig 9's large-message gain is the SCIF provider, nothing else."""
+
+    def run():
+        full = PciePathFabric("host-phi0", POST_UPDATE)
+        ablated = PciePathFabric("host-phi0", post_update_without_scif())
+        return full.bandwidth(4 * MiB), ablated.bandwidth(4 * MiB)
+
+    full_bw, ablated_bw = benchmark(run)
+    emit(figure_header("Ablation", "DAPL-over-SCIF (Fig 9's gain)"))
+    emit(
+        render_table(
+            ("model", "4 MiB bandwidth"),
+            [("full post-update", fmt_rate(full_bw)), ("SCIF disabled", fmt_rate(ablated_bw))],
+        )
+    )
+    assert full_bw > 2.5 * ablated_bw
+
+
+def test_ablate_os_core_penalty(benchmark):
+    """59·k threads beat 60·k only because of OS-core interference."""
+    kernel = class_c_kernel("MG")
+
+    def run():
+        full = Processor(xeon_phi_5110p())
+        ablated = Processor(phi_without_os_reservation())
+        return {
+            "full": (kernel_gflops(kernel, full, 177), kernel_gflops(kernel, full, 180)),
+            "no-os-core": (
+                kernel_gflops(kernel, ablated, 177),
+                kernel_gflops(kernel, ablated, 180),
+            ),
+        }
+
+    data = benchmark(run)
+    rows = [(k, f"{a:.1f}", f"{b:.1f}") for k, (a, b) in data.items()]
+    emit(figure_header("Ablation", "OS-core interference (59k vs 60k threads)"))
+    emit(render_table(("model", "177 thr Gop/s", "180 thr Gop/s"), rows))
+    assert data["full"][0] > data["full"][1]  # 177 beats 180
+    assert data["no-os-core"][1] >= data["no-os-core"][0]  # flips without it
+
+
+def test_ablate_scalar_ilp(benchmark):
+    """EP loses on the Phi because of in-order scalar throughput."""
+    kernel = class_c_kernel("EP")
+    host = Processor(maia_host_processor())
+
+    def run():
+        full = Processor(xeon_phi_5110p())
+        ablated = Processor(phi_with_full_scalar_ilp())
+        return {
+            "host": kernel_gflops(kernel, host, 16),
+            "phi full": kernel_gflops(kernel, full, 177),
+            "phi full-ILP": kernel_gflops(kernel, ablated, 177),
+        }
+
+    data = benchmark(run)
+    emit(figure_header("Ablation", "in-order scalar penalty (EP on the Phi)"))
+    emit(render_table(("config", "Gop/s"), [(k, f"{v:.1f}") for k, v in data.items()]))
+    assert data["host"] > data["phi full"]  # paper's result
+    assert data["phi full-ILP"] > data["host"]  # flips with OoO-grade scalar
+
+
+def test_ablate_gather_efficiency(benchmark):
+    """CG is worst on the Phi because of the slow hardware gather."""
+    kernel = class_c_kernel("CG")
+    host = Processor(maia_host_processor())
+
+    def run():
+        full = Processor(xeon_phi_5110p())
+        ablated = Processor(phi_with_fast_gather())
+        return {
+            "host": kernel_gflops(kernel, host, 16),
+            "phi full": kernel_gflops(kernel, full, 177),
+            "phi fast-gather": kernel_gflops(kernel, ablated, 177),
+        }
+
+    data = benchmark(run)
+    emit(figure_header("Ablation", "gather/scatter throughput (CG on the Phi)"))
+    emit(render_table(("config", "Gop/s"), [(k, f"{v:.1f}") for k, v in data.items()]))
+    assert data["phi fast-gather"] > 1.0 * data["phi full"]
+    # Gather alone does not rescue CG: its dependent memory path remains —
+    # the ratio improves but the host still wins (the paper's diagnosis
+    # combines both, Section 7).
+    assert data["host"] > data["phi fast-gather"]
+
+
+def test_ablate_mpi_oversubscription(benchmark):
+    """Figs 10-14's 4-ranks/core blowup is MPI-stack time slicing."""
+    nbytes = 64 * 1024
+
+    def run():
+        return {
+            "full 1 r/c": sendrecv_ring_time(phi_fabric(1), 59, nbytes),
+            "full 4 r/c": sendrecv_ring_time(phi_fabric(4), 236, nbytes),
+            "uncontended 4 r/c": sendrecv_ring_time(
+                phi_fabric_uncontended(4), 236, nbytes
+            ),
+        }
+
+    data = benchmark(run)
+    emit(figure_header("Ablation", "MPI-stack oversubscription (Fig 10)"))
+    emit(
+        render_table(
+            ("fabric", "64 KiB sendrecv (µs)"),
+            [(k, f"{v * 1e6:.1f}") for k, v in data.items()],
+        )
+    )
+    assert data["full 4 r/c"] > 10 * data["full 1 r/c"]
+    assert abs(data["uncontended 4 r/c"] - data["full 1 r/c"]) < 1e-9

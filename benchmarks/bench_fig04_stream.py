@@ -1,0 +1,28 @@
+"""Figure 4 — STREAM triad total memory bandwidth for host and Phi."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, render_table
+from repro.microbench.stream import fig4_data
+from repro.paperdata import FIG4_STREAM
+from repro.units import GB
+
+
+def test_fig04_stream_bandwidth(benchmark):
+    data = benchmark(fig4_data)
+    phi = dict(data["phi"])
+    paper_points = FIG4_STREAM["phi_bw_by_threads"]
+    rows = []
+    for threads, bw in data["host"]:
+        rows.append(("host", threads, "", f"{bw / GB:.1f}"))
+    for threads, bw in data["phi"]:
+        paper = paper_points.get(threads)
+        rows.append(
+            ("phi", threads, f"{paper / GB:.0f}" if paper else "", f"{bw / GB:.1f}")
+        )
+    emit(figure_header("Figure 4", "STREAM triad bandwidth (GB/s) vs threads"))
+    emit(render_table(("device", "threads", "paper", "model"), rows))
+    # Headline: 180 GB/s at 59/118 threads, dropping to 140 beyond 118.
+    assert abs(phi[59] - 180 * GB) / (180 * GB) < 0.05
+    assert abs(phi[118] - 180 * GB) / (180 * GB) < 0.05
+    assert abs(phi[177] - 140 * GB) / (140 * GB) < 0.05
+    assert phi[177] < phi[118]

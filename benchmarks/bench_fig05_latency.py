@@ -1,0 +1,30 @@
+"""Figure 5 — memory load latency vs working set for host and Phi."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, fmt_size, render_table
+from repro.microbench.memlatency import fig5_data
+from repro.paperdata import FIG5_LATENCY
+from repro.units import GiB, KiB, MiB, NS
+
+
+def test_fig05_memory_latency(benchmark):
+    data = benchmark(fig5_data)
+    host = dict(data["host"])
+    phi = dict(data["phi"])
+    rows = []
+    for ws in (16 * KiB, 128 * KiB, 4 * MiB, 256 * MiB):
+        rows.append(
+            (fmt_size(ws), f"{host[ws] / NS:.1f}", f"{phi[ws] / NS:.1f}")
+        )
+    emit(figure_header("Figure 5", "load latency (ns) vs working set"))
+    emit(render_table(("working set", "host model", "phi model"), rows))
+    emit(
+        "paper plateaus: host L1/L2/L3/MEM = 1.5/4.6/15/81 ns; "
+        "phi L1/L2/MEM = 2.9/22.9/295 ns"
+    )
+    # Plateau checks against the paper's numbers.
+    assert abs(host[16 * KiB] - FIG5_LATENCY["host"]["L1"]) / FIG5_LATENCY["host"]["L1"] < 0.05
+    assert abs(phi[16 * KiB] - FIG5_LATENCY["phi"]["L1"]) / FIG5_LATENCY["phi"]["L1"] < 0.05
+    big = 1 * GiB
+    assert abs(host[big] - FIG5_LATENCY["host"]["MEM"]) / FIG5_LATENCY["host"]["MEM"] < 0.06
+    assert abs(phi[big] - FIG5_LATENCY["phi"]["MEM"]) / FIG5_LATENCY["phi"]["MEM"] < 0.06

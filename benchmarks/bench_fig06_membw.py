@@ -1,0 +1,33 @@
+"""Figure 6 — per-core read/write load bandwidth vs working set."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, fmt_rate, fmt_size, render_table
+from repro.microbench.membandwidth import fig6_data
+from repro.paperdata import FIG6_BANDWIDTH
+from repro.units import GiB, KiB
+
+
+def test_fig06_percore_bandwidth(benchmark):
+    data = benchmark(fig6_data)
+    rows = []
+    for dev in ("host", "phi"):
+        for access in ("read", "write"):
+            series = dict(data[dev][access])
+            rows.append(
+                (
+                    dev,
+                    access,
+                    fmt_rate(series[16 * KiB]),
+                    fmt_rate(series[1 * GiB]),
+                )
+            )
+    emit(figure_header("Figure 6", "per-core load bandwidth: L1 and MEM plateaus"))
+    emit(render_table(("device", "access", "L1 plateau", "MEM plateau"), rows))
+    host_read = dict(data["host"]["read"])
+    phi_read = dict(data["phi"]["read"])
+    paper_host = FIG6_BANDWIDTH["host"]["read"]
+    paper_phi = FIG6_BANDWIDTH["phi"]["read"]
+    assert abs(host_read[16 * KiB] - paper_host["L1"]) / paper_host["L1"] < 0.05
+    assert abs(phi_read[16 * KiB] - paper_phi["L1"]) / paper_phi["L1"] < 0.05
+    assert abs(host_read[1 * GiB] - paper_host["MEM"]) / paper_host["MEM"] < 0.06
+    assert abs(phi_read[1 * GiB] - paper_phi["MEM"]) / paper_phi["MEM"] < 0.06

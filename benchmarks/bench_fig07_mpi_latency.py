@@ -1,0 +1,29 @@
+"""Figure 7 — MPI latency between host and Phi, pre/post software update."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, render_table
+from repro.microbench.pingpong import fig7_data
+from repro.paperdata import FIG7_MPI_LATENCY
+from repro.units import US
+
+
+def test_fig07_mpi_latency(benchmark):
+    data = benchmark(fig7_data)
+    rows = []
+    for sw in ("pre", "post"):
+        for path in ("host-phi0", "host-phi1", "phi0-phi1"):
+            rows.append(
+                (
+                    sw,
+                    path,
+                    f"{FIG7_MPI_LATENCY[sw][path] / US:.1f}",
+                    f"{data[sw][path] / US:.2f}",
+                )
+            )
+    emit(figure_header("Figure 7", "MPI latency over PCIe (µs)"))
+    emit(render_table(("software", "path", "paper", "model"), rows))
+    for sw in ("pre", "post"):
+        for path, lat in FIG7_MPI_LATENCY[sw].items():
+            assert abs(data[sw][path] - lat) / lat < 0.03, (sw, path)
+        # Asymmetry: Phi1 paths always slower than Phi0.
+        assert data[sw]["host-phi1"] > data[sw]["host-phi0"]

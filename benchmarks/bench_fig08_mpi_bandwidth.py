@@ -1,0 +1,43 @@
+"""Figure 8 — MPI bandwidth between host and Phi vs message size."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, fmt_rate, fmt_size, render_table
+from repro.microbench.pingpong import fig8_data
+from repro.paperdata import FIG8_MPI_BANDWIDTH_4MIB
+from repro.units import KiB, MiB
+
+
+def test_fig08_mpi_bandwidth(benchmark):
+    data = benchmark(fig8_data)
+    rows = []
+    for size in (1 * KiB, 8 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB):
+        row = [fmt_size(size)]
+        for sw in ("pre", "post"):
+            for path in ("host-phi0", "host-phi1", "phi0-phi1"):
+                row.append(fmt_rate(dict(data[sw][path])[size]))
+        rows.append(row)
+    emit(figure_header("Figure 8", "MPI bandwidth over PCIe vs message size"))
+    emit(
+        render_table(
+            (
+                "size",
+                "pre h-p0",
+                "pre h-p1",
+                "pre p0-p1",
+                "post h-p0",
+                "post h-p1",
+                "post p0-p1",
+            ),
+            rows,
+        )
+    )
+    emit("paper @4MiB: pre = 1.6 GB/s / 455 MB/s / 444 MB/s; post = 6 / 6 / 0.9 GB/s")
+    for sw in ("pre", "post"):
+        for path, bw in FIG8_MPI_BANDWIDTH_4MIB[sw].items():
+            model = dict(data[sw][path])[4 * MiB]
+            assert abs(model - bw) / bw < 0.05, (sw, path)
+    # The pre-update host-phi1 asymmetry disappears post-update.
+    assert dict(data["pre"]["host-phi0"])[4 * MiB] > 3 * dict(data["pre"]["host-phi1"])[4 * MiB]
+    post0 = dict(data["post"]["host-phi0"])[4 * MiB]
+    post1 = dict(data["post"]["host-phi1"])[4 * MiB]
+    assert abs(post0 - post1) / post0 < 0.05

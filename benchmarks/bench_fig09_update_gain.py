@@ -1,0 +1,23 @@
+"""Figure 9 — post-update / pre-update MPI bandwidth gain per path."""
+
+from benchmarks.conftest import emit
+from repro.core.report import band_str, figure_header, render_table
+from repro.microbench.pingpong import fig9_data, gain_in_regime
+from repro.paperdata import FIG9_UPDATE_GAIN
+
+
+def test_fig09_software_update_gain(benchmark):
+    benchmark(fig9_data)
+    rows = []
+    checks = []
+    for path, regimes in FIG9_UPDATE_GAIN.items():
+        for regime, (plo, phi_) in regimes.items():
+            lo, hi = gain_in_regime(path, regime)
+            ok = lo >= plo * 0.85 and hi <= phi_ * 1.15
+            checks.append(ok)
+            rows.append(
+                (path, regime, band_str(plo, phi_), band_str(lo, hi), "ok" if ok else "X")
+            )
+    emit(figure_header("Figure 9", "post/pre bandwidth gain by message regime"))
+    emit(render_table(("path", "regime", "paper band", "model band", "check"), rows))
+    assert all(checks)

@@ -1,0 +1,23 @@
+"""Figure 10 — MPI_Send/Recv ring exchange: host vs Phi ranks-per-core."""
+
+from benchmarks.conftest import emit
+from repro.core.report import band_str, figure_header, render_table
+from repro.microbench.mpifuncs import factor_range, mpi_function_sweep
+from repro.paperdata import FIG10_SENDRECV
+
+
+def test_fig10_sendrecv(benchmark):
+    benchmark(mpi_function_sweep, "sendrecv")
+    rows = []
+    for tpc, band_key in ((1, "host_over_phi_1tpc"), (4, "host_over_phi_4tpc")):
+        lo, hi = factor_range("sendrecv", tpc)
+        plo, phi_ = FIG10_SENDRECV[band_key]
+        rows.append((f"{tpc} rank/core", band_str(plo, phi_), band_str(lo, hi)))
+    emit(figure_header("Figure 10", "MPI_Send/Recv: host-over-Phi time factor"))
+    emit(render_table(("phi config", "paper band", "model band"), rows))
+    lo1, hi1 = factor_range("sendrecv", 1)
+    lo4, hi4 = factor_range("sendrecv", 4)
+    assert FIG10_SENDRECV["host_over_phi_1tpc"][0] * 0.85 <= lo1
+    assert hi1 <= FIG10_SENDRECV["host_over_phi_1tpc"][1] * 1.15
+    assert FIG10_SENDRECV["host_over_phi_4tpc"][0] * 0.85 <= lo4
+    assert hi4 <= FIG10_SENDRECV["host_over_phi_4tpc"][1] * 1.15

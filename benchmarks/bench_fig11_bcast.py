@@ -1,0 +1,34 @@
+"""Figure 11 — MPI_Bcast on host and Phi.
+
+The paper quotes the 4-ranks/core comparison "per core", an ambiguous
+normalization (see EXPERIMENTS.md); the bench asserts the unambiguous
+claims: the 1-rank/core band overlap, host always faster, and degradation
+with oversubscription.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.report import band_str, figure_header, render_table
+from repro.microbench.mpifuncs import factor_range, mpi_function_sweep
+from repro.paperdata import FIG11_BCAST
+
+
+def test_fig11_bcast(benchmark):
+    benchmark(mpi_function_sweep, "bcast")
+    rows = []
+    for tpc in (1, 2, 3, 4):
+        lo, hi = factor_range("bcast", tpc)
+        paper = (
+            band_str(*FIG11_BCAST["host_over_phi_1tpc"])
+            if tpc == 1
+            else (band_str(*FIG11_BCAST["host_over_phi_4tpc"]) + " (per-core)" if tpc == 4 else "")
+        )
+        rows.append((f"{tpc} rank/core", paper, band_str(lo, hi)))
+    emit(figure_header("Figure 11", "MPI_Bcast: host-over-Phi time factor"))
+    emit(render_table(("phi config", "paper band", "model band"), rows))
+    lo1, hi1 = factor_range("bcast", 1)
+    plo, phi_ = FIG11_BCAST["host_over_phi_1tpc"]
+    assert lo1 <= phi_ and hi1 >= plo  # bands overlap
+    # Host always wins and oversubscription makes it worse.
+    highs = [factor_range("bcast", t)[1] for t in (1, 2, 3, 4)]
+    assert all(h > 1 for h in highs)
+    assert highs == sorted(highs)

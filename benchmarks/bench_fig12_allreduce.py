@@ -1,0 +1,22 @@
+"""Figure 12 — MPI_Allreduce on host and Phi."""
+
+from benchmarks.conftest import emit
+from repro.core.report import band_str, figure_header, render_table
+from repro.microbench.mpifuncs import factor_range, mpi_function_sweep
+from repro.paperdata import FIG12_ALLREDUCE
+
+
+def test_fig12_allreduce(benchmark):
+    benchmark(mpi_function_sweep, "allreduce")
+    rows = []
+    for tpc, key in ((1, "host_over_phi_1tpc"), (4, "host_over_phi_4tpc")):
+        lo, hi = factor_range("allreduce", tpc)
+        rows.append(
+            (f"{tpc} rank/core", band_str(*FIG12_ALLREDUCE[key]), band_str(lo, hi))
+        )
+    emit(figure_header("Figure 12", "MPI_Allreduce: host-over-Phi time factor"))
+    emit(render_table(("phi config", "paper band", "model band"), rows))
+    for tpc, key in ((1, "host_over_phi_1tpc"), (4, "host_over_phi_4tpc")):
+        lo, hi = factor_range("allreduce", tpc)
+        plo, phi_ = FIG12_ALLREDUCE[key]
+        assert plo * 0.85 <= lo and hi <= phi_ * 1.15, tpc

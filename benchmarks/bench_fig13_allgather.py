@@ -1,0 +1,31 @@
+"""Figure 13 — MPI_Allgather, including the algorithm-switch jump."""
+
+from benchmarks.conftest import emit
+from repro.core.report import band_str, figure_header, render_table
+from repro.microbench.mpifuncs import factor_range, mpi_function_sweep
+from repro.mpi.collectives import ALLGATHER_RING_SWITCH, allgather_time
+from repro.mpi.fabrics import phi_fabric
+from repro.paperdata import FIG13_ALLGATHER
+
+
+def test_fig13_allgather(benchmark):
+    benchmark(mpi_function_sweep, "allgather")
+    rows = []
+    for tpc, key in ((1, "host_over_phi_1tpc"), (4, "host_over_phi_4tpc")):
+        lo, hi = factor_range("allgather", tpc)
+        rows.append(
+            (f"{tpc} rank/core", band_str(*FIG13_ALLGATHER[key]), band_str(lo, hi))
+        )
+    emit(figure_header("Figure 13", "MPI_Allgather: host-over-Phi time factor"))
+    emit(render_table(("phi config", "paper band", "model band"), rows))
+    for tpc, key in ((1, "host_over_phi_1tpc"), (4, "host_over_phi_4tpc")):
+        lo, hi = factor_range("allgather", tpc)
+        plo, phi_ = FIG13_ALLGATHER[key]
+        assert plo * 0.85 <= lo and hi <= phi_ * 1.15, tpc
+    # The paper's "sudden jump at 2KB/4KB": the recursive-doubling → ring
+    # algorithm switch is a discontinuity in the time-vs-size curve.
+    f = phi_fabric(1)
+    below = allgather_time(f, 64, ALLGATHER_RING_SWITCH)
+    above = allgather_time(f, 64, ALLGATHER_RING_SWITCH + 1)
+    emit(f"algorithm switch at {ALLGATHER_RING_SWITCH} B: {below:.2e}s -> {above:.2e}s")
+    assert above > 1.5 * below

@@ -1,0 +1,34 @@
+"""Figure 14 — MPI_Alltoall, including the out-of-memory failure."""
+
+from benchmarks.conftest import emit
+from repro.core.report import band_str, figure_header, fmt_size, render_table
+from repro.microbench.mpifuncs import (
+    alltoall_max_feasible_size,
+    factor_range,
+    mpi_function_sweep,
+)
+from repro.paperdata import FIG14_ALLTOALL
+
+
+def test_fig14_alltoall(benchmark):
+    benchmark(mpi_function_sweep, "alltoall")
+    rows = []
+    for tpc, key in ((1, "host_over_phi_1tpc"), (4, "host_over_phi_4tpc")):
+        lo, hi = factor_range("alltoall", tpc)
+        max_size = alltoall_max_feasible_size(tpc)
+        rows.append(
+            (
+                f"{tpc} rank/core",
+                band_str(*FIG14_ALLTOALL[key]),
+                band_str(lo, hi),
+                fmt_size(max_size),
+            )
+        )
+    emit(figure_header("Figure 14", "MPI_Alltoall: factors and memory limits"))
+    emit(render_table(("phi config", "paper band", "model band", "max msg"), rows))
+    for tpc, key in ((1, "host_over_phi_1tpc"), (4, "host_over_phi_4tpc")):
+        lo, hi = factor_range("alltoall", tpc)
+        plo, phi_ = FIG14_ALLTOALL[key]
+        assert plo * 0.85 <= lo and hi <= phi_ * 1.15, tpc
+    # Section 6.4.5: at 236 ranks the Alltoall runs only up to 4 KiB.
+    assert alltoall_max_feasible_size(4) == FIG14_ALLTOALL["oom_above"]

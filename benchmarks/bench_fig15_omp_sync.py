@@ -1,0 +1,30 @@
+"""Figure 15 — OpenMP synchronization construct overheads."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, render_table
+from repro.microbench.ompbench import fig15_data
+from repro.openmp import CONSTRUCTS
+from repro.units import US
+
+
+def test_fig15_openmp_sync_overheads(benchmark):
+    data = benchmark(fig15_data)
+    rows = []
+    for c in CONSTRUCTS:
+        rows.append(
+            (
+                c,
+                f"{data['host'][c] / US:.2f}",
+                f"{data['phi'][c] / US:.2f}",
+                f"{data['phi'][c] / data['host'][c]:.1f}x",
+            )
+        )
+    emit(figure_header("Figure 15", "OpenMP sync overhead (µs): host 16 thr, Phi 236 thr"))
+    emit(render_table(("construct", "host", "phi", "phi/host"), rows))
+    emit("paper: Phi ≈ an order of magnitude higher; REDUCTION worst, ATOMIC best")
+    for dev in ("host", "phi"):
+        t = data[dev]
+        assert max(t, key=t.get) == "REDUCTION"
+        assert min(t, key=t.get) == "ATOMIC"
+    ratios = [data["phi"][c] / data["host"][c] for c in CONSTRUCTS]
+    assert sum(ratios) / len(ratios) > 7

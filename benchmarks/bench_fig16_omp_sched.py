@@ -1,0 +1,27 @@
+"""Figure 16 — OpenMP loop-scheduling overheads."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, render_table
+from repro.microbench.ompbench import fig16_data
+from repro.openmp import SCHEDULES
+from repro.units import US
+
+
+def test_fig16_openmp_scheduling(benchmark):
+    data = benchmark(fig16_data)
+    rows = [
+        (
+            s,
+            f"{data['host'][s] / US:.2f}",
+            f"{data['phi'][s] / US:.2f}",
+            f"{data['phi'][s] / data['host'][s]:.1f}x",
+        )
+        for s in SCHEDULES
+    ]
+    emit(figure_header("Figure 16", "OpenMP scheduling overhead (µs)"))
+    emit(render_table(("policy", "host", "phi", "phi/host"), rows))
+    emit("paper: STATIC < GUIDED < DYNAMIC; Phi an order of magnitude higher")
+    for dev in ("host", "phi"):
+        t = data[dev]
+        assert t["STATIC"] < t["GUIDED"] < t["DYNAMIC"]
+    assert all(data["phi"][s] / data["host"][s] > 5 for s in SCHEDULES)

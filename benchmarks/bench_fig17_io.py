@@ -1,0 +1,33 @@
+"""Figure 17 — sequential I/O bandwidth on host, Phi0 and Phi1."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, fmt_rate, render_table
+from repro.microbench.iobench import fig17_data
+from repro.paperdata import FIG17_IO
+
+
+def test_fig17_sequential_io(benchmark):
+    data = benchmark(fig17_data)
+    rows = []
+    for dev in ("host", "phi0", "phi1"):
+        paper = FIG17_IO.get(dev, {})
+        rows.append(
+            (
+                dev,
+                fmt_rate(paper["write"]) if "write" in paper else "",
+                fmt_rate(data[dev]["write"]),
+                fmt_rate(paper["read"]) if "read" in paper else "",
+                fmt_rate(data[dev]["read"]),
+            )
+        )
+    rows.append(
+        ("phi0 via host (workaround)", "", fmt_rate(data["phi0-via-host"]["write"]), "", "")
+    )
+    emit(figure_header("Figure 17", "sequential I/O bandwidth"))
+    emit(render_table(("device", "paper w", "model w", "paper r", "model r"), rows))
+    w_ratio = data["host"]["write"] / data["phi0"]["write"]
+    r_ratio = data["host"]["read"] / data["phi0"]["read"]
+    emit(f"host/phi ratios: write {w_ratio:.1f}x (paper 2.6), read {r_ratio:.1f}x (paper 3.9)")
+    assert abs(w_ratio - FIG17_IO["host_over_phi_write"]) < 0.3
+    assert abs(r_ratio - FIG17_IO["host_over_phi_read"]) < 0.4
+    assert data["phi0-via-host"]["write"] > 2 * data["phi0"]["write"]

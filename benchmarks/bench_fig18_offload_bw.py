@@ -1,0 +1,23 @@
+"""Figure 18 — offload-mode PCIe bandwidth between host and Phi."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, fmt_rate, fmt_size, render_table
+from repro.microbench.offloadbw import fig18_data
+from repro.paperdata import FIG18_OFFLOAD_BW
+from repro.units import GB, KiB, MiB
+
+
+def test_fig18_offload_bandwidth(benchmark):
+    data = benchmark(fig18_data)
+    phi0 = dict(data["host-phi0"])
+    phi1 = dict(data["host-phi1"])
+    rows = []
+    for size in (4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 4 * MiB, 64 * MiB):
+        rows.append((fmt_size(size), fmt_rate(phi0[size]), fmt_rate(phi1[size])))
+    emit(figure_header("Figure 18", "offload DMA bandwidth over PCIe"))
+    emit(render_table(("transfer size", "host-phi0", "host-phi1"), rows))
+    emit("paper: ~6.4 GB/s large transfers; phi0 ≈ 3% over phi1; dip at 64 KiB")
+    big = 256 * MiB
+    assert abs(phi0[big] - FIG18_OFFLOAD_BW["large_transfer_bw"]) / (6.4 * GB) < 0.03
+    assert abs(phi0[64 * MiB] / phi1[64 * MiB] - FIG18_OFFLOAD_BW["phi0_over_phi1"]) < 0.01
+    assert phi0[256 * KiB] > 1.1 * phi0[64 * KiB]  # the dip recovers

@@ -1,0 +1,41 @@
+"""Figure 19 — NPB OpenMP Class C: host (16 threads) vs Phi (59–236)."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, render_table
+from repro.errors import OutOfMemoryError
+from repro.machine import Device
+from repro.npb.characterization import OPENMP_BENCHMARKS, class_c_kernel
+from repro.npb.suite import openmp_figure
+from repro.paperdata import FIG19_NPB_OMP
+
+
+def test_fig19_npb_openmp(benchmark, evaluator):
+    results = benchmark(openmp_figure, evaluator)
+    table = {}
+    for b in OPENMP_BENCHMARKS:
+        entry = {"host": None, 1: None, 2: None, 3: None, 4: None}
+        for m in results.where(benchmark=b):
+            key = m.config.get("tpc", "host")
+            entry[key] = m.gflops
+        table[b] = entry
+    rows = []
+    for b, e in table.items():
+        rows.append(
+            [b]
+            + [f"{e[k]:.1f}" if e[k] else "-" for k in ("host", 1, 2, 3, 4)]
+        )
+    emit(figure_header("Figure 19", "NPB OpenMP Class C (Gop/s): host vs Phi t/core"))
+    emit(render_table(("bench", "host16", "phi 1t", "phi 2t", "phi 3t", "phi 4t"), rows))
+    emit("paper: host wins except MG; BT best / CG worst on Phi; 3 t/core usual optimum")
+
+    ratios = {}
+    for b, e in table.items():
+        best_phi = max(v for k, v in e.items() if k != "host" and v)
+        ratios[b] = best_phi / e["host"]
+        if b in FIG19_NPB_OMP["host_beats_phi_except"]:
+            assert best_phi > e["host"], b
+        else:
+            assert e["host"] > best_phi, b
+    without_mg = {b: r for b, r in ratios.items() if b != "MG"}
+    assert max(without_mg, key=without_mg.get) == FIG19_NPB_OMP["best_on_phi"]
+    assert min(ratios, key=ratios.get) == FIG19_NPB_OMP["worst_on_phi"]

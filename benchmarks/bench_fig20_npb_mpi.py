@@ -1,0 +1,44 @@
+"""Figure 20 — NPB MPI Class C on the Phi: rank constraints and FT's OOM."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, render_table
+from repro.errors import OutOfMemoryError
+from repro.machine import Device
+from repro.npb.characterization import MPI_BENCHMARKS, class_c_kernel
+from repro.npb.suite import mpi_figure
+from repro.paperdata import FIG20_NPB_MPI
+
+
+def test_fig20_npb_mpi(benchmark, evaluator):
+    results = benchmark(mpi_figure, evaluator)
+    rows = []
+    for b in MPI_BENCHMARKS:
+        runs = {m.config["ranks"]: m.gflops for m in results.where(benchmark=b)}
+        if not runs:
+            rows.append((b, "out of memory (needs 10 GB, card has 8 GB)"))
+            continue
+        rows.append(
+            (b, "  ".join(f"{r}:{g:.1f}" for r, g in sorted(runs.items())))
+        )
+    emit(figure_header("Figure 20", "NPB MPI Class C on Phi0 (ranks:Gop/s)"))
+    emit(render_table(("bench", "runs"), rows))
+    emit("paper: FT cannot run (10 GB > 8 GB); BT best at 225 ranks (4/core)")
+
+    # FT is absent.
+    assert len(results.where(benchmark="FT")) == 0
+    with pytest.raises(OutOfMemoryError):
+        evaluator.native(Device.PHI0, class_c_kernel("FT", mpi=True), 128)
+    # BT peaks at 225 ranks = 4 ranks/core.
+    bt = {m.config["ranks"]: m.gflops for m in results.where(benchmark="BT")}
+    assert max(bt, key=bt.get) == 225
+    # Square counts for BT/SP, powers of two for the rest.
+    for b in ("BT", "SP"):
+        assert set(
+            m.config["ranks"] for m in results.where(benchmark=b)
+        ) == set(FIG20_NPB_MPI["phi_rank_counts_square"])
+    for b in ("CG", "MG", "LU"):
+        assert set(
+            m.config["ranks"] for m in results.where(benchmark=b)
+        ) == set(FIG20_NPB_MPI["phi_rank_counts_pow2"])

@@ -1,0 +1,24 @@
+"""Figure 21 — Cart3D (OneraM6) on host and Phi."""
+
+from benchmarks.conftest import emit
+from repro.apps import Cart3dModel
+from repro.core.report import figure_header, render_table
+from repro.paperdata import FIG21_CART3D
+
+
+def test_fig21_cart3d(benchmark):
+    model = Cart3dModel()
+    fig = benchmark(model.figure21)
+    rows = [
+        (k, f"{v.time:.3f}", f"{v.gflops:.1f}", v.config["bound"])
+        for k, v in fig.items()
+    ]
+    emit(figure_header("Figure 21", "Cart3D OneraM6: time/iteration and Gflop/s"))
+    emit(render_table(("config", "time (s)", "Gflop/s", "bound"), rows))
+    emit("paper: host 2x the best Phi; Phi optimum at 4 threads/core")
+
+    phi = {k: v.time for k, v in fig.items() if k.startswith("phi")}
+    best_phi = min(phi.values())
+    assert min(phi, key=phi.get) == f"phi-{59 * FIG21_CART3D['best_tpc']}"
+    ratio = best_phi / fig["host-16"].time
+    assert abs(ratio - FIG21_CART3D["host_over_best_phi"]) / 2.0 < 0.1

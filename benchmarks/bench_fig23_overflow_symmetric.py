@@ -1,0 +1,48 @@
+"""Figure 23 — OVERFLOW (DLRF6-Large) symmetric mode, pre/post update."""
+
+from benchmarks.conftest import emit
+from repro.apps import OverflowModel, dataset
+from repro.core.report import figure_header, render_table
+from repro.core.software import POST_UPDATE, PRE_UPDATE
+from repro.machine import Device
+from repro.paperdata import FIG23_OVERFLOW_SYMMETRIC
+
+
+def _runs(model):
+    return {
+        "host-native": {"total": model.native_step(Device.HOST, 16, 1).time},
+        "sym-pre": model.symmetric_step(PRE_UPDATE),
+        "sym-post": model.symmetric_step(POST_UPDATE),
+        "two-hosts": model.two_host_step(),
+    }
+
+
+def test_fig23_overflow_symmetric(benchmark):
+    model = OverflowModel(dataset("DLRF6-Large"))
+    runs = benchmark(_runs, model)
+    rows = []
+    for name, r in runs.items():
+        rows.append(
+            (
+                name,
+                f"{r['total']:.3f}",
+                f"{r.get('compute_only', float('nan')):.3f}",
+                f"{r.get('comm', 0.0):.3f}",
+            )
+        )
+    emit(figure_header("Figure 23", "OVERFLOW DLRF6-Large: seconds per step"))
+    emit(render_table(("configuration", "total", "compute", "comm"), rows))
+
+    speedup = runs["host-native"]["total"] / runs["sym-post"]["total"]
+    gain = runs["sym-pre"]["total"] / runs["sym-post"]["total"] - 1.0
+    adv = runs["two-hosts"]["ideal_compute"] / runs["sym-post"]["ideal_compute"]
+    emit(
+        f"symmetric vs host-native: {speedup:.2f}x (paper 1.9); "
+        f"post-update gain {gain * 100:.1f}% (paper 2-28%); "
+        f"compute-part advantage over two hosts {adv:.2f} (paper 1.15)"
+    )
+    assert abs(speedup - FIG23_OVERFLOW_SYMMETRIC["speedup_vs_host_native"]) < 0.2
+    lo, hi = FIG23_OVERFLOW_SYMMETRIC["postupdate_gain_pct"]
+    assert lo / 100 <= gain <= hi / 100
+    assert runs["sym-post"]["total"] > runs["two-hosts"]["total"]  # still loses
+    assert abs(adv - FIG23_OVERFLOW_SYMMETRIC["compute_part_speedup_vs_two_hosts"]) < 0.05

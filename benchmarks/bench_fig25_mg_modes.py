@@ -1,0 +1,46 @@
+"""Figure 25 — MG in native host, native Phi, and three offload modes."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, render_table
+from repro.machine import Device
+from repro.npb.characterization import class_c_kernel
+from repro.npb.mg_offload import offload_regions
+from repro.paperdata import FIG25_MG_MODES
+
+
+def _modes(evaluator):
+    k = class_c_kernel("MG")
+    out = {
+        "native host (16 thr)": evaluator.native(Device.HOST, k, 16).gflops,
+        "native host (32 thr, HT)": evaluator.native(Device.HOST, k, 32).gflops,
+        "native phi (177 thr)": evaluator.native(Device.PHI0, k, 177).gflops,
+    }
+    for name, region in offload_regions("C").items():
+        out[f"offload {name}"] = evaluator.offload(region, n_threads=177).gflops
+    return out
+
+
+def test_fig25_mg_modes(benchmark, evaluator):
+    modes = benchmark(_modes, evaluator)
+    paper = {
+        "native host (16 thr)": FIG25_MG_MODES["host_16thr_gflops"] / 1e9,
+        "native host (32 thr, HT)": FIG25_MG_MODES["host_32thr_gflops"] / 1e9,
+        "native phi (177 thr)": FIG25_MG_MODES["phi_177thr_gflops"] / 1e9,
+    }
+    rows = [
+        (name, f"{paper.get(name, float('nan')):.1f}", f"{g:.2f}")
+        for name, g in modes.items()
+    ]
+    emit(figure_header("Figure 25", "MG Class C in three modes (Gflop/s)"))
+    emit(render_table(("mode", "paper", "model"), rows))
+
+    assert abs(modes["native host (16 thr)"] - 23.5) / 23.5 < 0.05
+    assert abs(modes["native phi (177 thr)"] - 29.9) / 29.9 < 0.05
+    # HT costs ~6 % on the host.
+    loss = 1 - modes["native host (32 thr, HT)"] / modes["native host (16 thr)"]
+    assert abs(loss - 0.06) < 0.04
+    # Every offload variant loses to both native modes.
+    for name, g in modes.items():
+        if name.startswith("offload"):
+            assert g < modes["native host (16 thr)"]
+            assert g < modes["native phi (177 thr)"]

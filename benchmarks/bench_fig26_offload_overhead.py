@@ -1,0 +1,36 @@
+"""Figure 26 — offload overhead components for the three MG versions."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, render_table
+from repro.npb.mg_offload import offload_regions
+
+
+def _reports(evaluator):
+    model = evaluator.offload_model(n_threads=177)
+    return model.compare(*offload_regions("C").values())
+
+
+def test_fig26_offload_overhead(benchmark, evaluator):
+    reports = benchmark(_reports, evaluator)
+    rows = []
+    for name in ("loop", "subroutine", "whole"):
+        rep = reports[name]
+        c = rep.components()
+        rows.append(
+            (
+                name,
+                f"{c['host_setup']:.2f}",
+                f"{c['pcie_transfer']:.2f}",
+                f"{c['phi_setup']:.2f}",
+                f"{rep.overhead:.2f}",
+            )
+        )
+    emit(figure_header("Figure 26", "MG offload overhead components (s)"))
+    emit(render_table(("version", "host setup", "PCIe", "phi setup", "total ovh"), rows))
+    emit("paper: offloading one loop worst; whole computation best")
+    assert (
+        reports["loop"].overhead
+        > reports["subroutine"].overhead
+        > reports["whole"].overhead
+    )
+    assert reports["loop"].total > reports["whole"].total

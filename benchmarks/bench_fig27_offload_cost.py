@@ -1,0 +1,26 @@
+"""Figure 27 — invocation counts and transferred data for MG offload."""
+
+from benchmarks.conftest import emit
+from repro.core.report import figure_header, fmt_size, render_table
+from repro.npb.mg_offload import offload_regions
+
+
+def test_fig27_offload_cost(benchmark):
+    regions = benchmark(offload_regions, "C")
+    rows = [
+        (name, r.invocations, fmt_size(r.total_data))
+        for name, r in regions.items()
+    ]
+    emit(figure_header("Figure 27", "MG offload: invocations and data shipped"))
+    emit(render_table(("version", "invocations", "total data"), rows))
+    emit("paper: both maximal for the one-loop version, minimal for whole computation")
+    assert (
+        regions["loop"].invocations
+        > regions["subroutine"].invocations
+        > regions["whole"].invocations
+    )
+    assert (
+        regions["loop"].total_data
+        > regions["subroutine"].total_data
+        > regions["whole"].total_data
+    )

@@ -1,0 +1,26 @@
+"""Table 1 — characteristics of Maia: model configuration vs the paper."""
+
+from benchmarks.conftest import emit
+from repro.machine import maia_system
+from repro.core.report import figure_header, render_table
+from repro.paperdata import TABLE1
+
+
+def test_table1_system_characteristics(benchmark):
+    summary = benchmark(lambda: maia_system().summary())
+    paper = TABLE1["system"]
+    rows = [
+        ("nodes", paper["n_nodes"], summary["n_nodes"]),
+        ("host cores", paper["host_cores_total"], summary["total_host_cores"]),
+        ("phi cores", paper["phi_cores_total"], summary["total_phi_cores"]),
+        ("host peak (Tflop/s)", paper["host_peak_tflops"], summary["host_peak_tflops"]),
+        ("phi peak (Tflop/s)", paper["phi_peak_tflops"], summary["phi_peak_tflops"]),
+        ("total peak (Tflop/s)", paper["total_peak_tflops"], summary["total_peak_tflops"]),
+        ("host flops share (%)", paper["host_flops_pct"], summary["host_flops_pct"]),
+        ("phi flops share (%)", paper["phi_flops_pct"], summary["phi_flops_pct"]),
+    ]
+    emit(figure_header("Table 1", "Maia system characteristics"))
+    emit(render_table(("quantity", "paper", "model"), rows))
+    assert summary["n_nodes"] == paper["n_nodes"]
+    assert abs(summary["total_peak_tflops"] - paper["total_peak_tflops"]) < 3.5
+    assert round(summary["phi_flops_pct"]) == paper["phi_flops_pct"]

@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it
+computes the figure's data from the models (timed under
+pytest-benchmark), prints a fixed-width paper-vs-model table, and asserts
+the figure's headline claim so a calibration regression fails loudly.
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core.evaluator import Evaluator
+
+
+@pytest.fixture(scope="session")
+def evaluator() -> Evaluator:
+    """One evaluator (Maia node + post-update software) for all benches."""
+    return Evaluator()
+
+
+def emit(text: str) -> None:
+    """Print a rendered table (kept visible under pytest -s)."""
+    print()
+    print(text)

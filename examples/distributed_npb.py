@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Real NAS Parallel Benchmarks, distributed over the *simulated* MPI.
+
+Five NPB kernels run as genuine distributed programs — real NumPy data
+moving through the simulated communicator — and still verify against
+NPB's official reference values:
+
+* EP — per-rank blocks seeded by LCG jump-ahead, sums allreduced;
+* CG — row-partitioned matrix, direction vectors allgathered (official ζ);
+* FT — slab-decomposed 3D FFT whose transposes are MPI_Alltoall calls
+  (official checksums — so the simulated Alltoall provably moved the
+  right bytes);
+* MG — slab-decomposed V-cycle with ghost-plane exchanges and coarse-
+  level gathers (official residual norm);
+* IS — bucket sort with an Alltoall key redistribution.
+
+Meanwhile the simulated clock prices every message on the chosen fabric,
+so the identical program is measurably slower on the Phi at 4 ranks/core
+— Figure 20's mechanism, executable.
+
+Run:  python examples/distributed_npb.py
+"""
+
+from repro.core.report import render_table
+from repro.mpi import host_fabric, mpiexec, phi_fabric
+from repro.npb.mg_mpi import mg_mpi
+from repro.npb.mpi_versions import ft_mpi, is_mpi, run_cg_mpi, run_ep_mpi
+
+rows = []
+
+for label, fabric in (
+    ("host shm", host_fabric()),
+    ("phi 1 rank/core", phi_fabric(1)),
+    ("phi 4 ranks/core", phi_fabric(4)),
+):
+    ep = run_ep_mpi(8, fabric, "S")
+    cg = run_cg_mpi(8, fabric, "S")
+    ft = mpiexec(8, fabric, lambda c: ft_mpi(c, "S"))
+    mg = mpiexec(8, fabric, lambda c: mg_mpi(c, "S"))
+    is_ = mpiexec(8, fabric, lambda c: is_mpi(c, "S"))
+    ok = all(
+        all(r["verified"] for r in job.returns)
+        for job in (ep, cg, ft, mg, is_)
+    )
+    rows.append(
+        (
+            label,
+            "all VERIFIED" if ok else "FAILED",
+            f"{ep.elapsed * 1e3:.2f}",
+            f"{cg.elapsed * 1e3:.1f}",
+            f"{ft.elapsed * 1e3:.2f}",
+            f"{mg.elapsed * 1e3:.2f}",
+            f"{is_.elapsed * 1e3:.2f}",
+        )
+    )
+
+print(render_table(
+    ("fabric", "verification", "EP ms", "CG ms", "FT ms", "MG ms", "IS ms"),
+    rows,
+    title="NPB class S, 8 ranks, distributed over simulated MPI (sim. comm time)",
+))
+print("""
+The numerics are identical on every fabric (same official verification
+values); only the simulated communication time changes.  CG — dominated
+by per-iteration allgathers and allreduces — pays the oversubscribed Phi
+MPI stack hardest, which is why the paper tells you to keep one rank per
+core for communication-heavy codes.""")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Hybrid MPI x OpenMP jobs, executably: the threads-per-core ladder.
+
+The other examples *price* decompositions with the analytic models; this
+one *executes* them: every MPI rank is a discrete-event process driving
+its own OpenMP team (OVERFLOW's execution structure).  A fixed pile of
+loop iterations is split over 4 Phi ranks at 1-4 OpenMP threads per
+core, plus the host baseline.  Two of the paper's mechanisms fall out of
+the executable runtime itself:
+
+* one thread per core leaves the Phi's in-order pipeline half idle —
+  three per core is the sweet spot (Section 6.8.1);
+* at 4 ranks/core the time-sliced MPI stack makes the halo exchange
+  itself the problem (Figures 10-14).
+
+Run:  python examples/hybrid_decomposition.py
+"""
+
+from repro.core.report import render_table
+from repro.hybrid import HybridJob
+from repro.machine import maia_host_processor, xeon_phi_5110p
+from repro.mpi import host_fabric, phi_fabric
+from repro.units import KiB
+
+TOTAL_ITERS = 11200  # the step's work, split over ranks then threads
+ITER_COST = 5e-6  # full-core seconds per iteration
+STEPS = 3
+
+
+def overflow_like(comm, team):
+    """A few OVERFLOW-ish steps: compute, halo exchange, reduce."""
+    iters = TOTAL_ITERS // comm.size
+    resid = 0.0
+    for _ in range(STEPS):
+        yield from team.parallel_for_region(lambda i: ITER_COST, iters)
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        yield from comm.sendrecv(right, left, nbytes=64 * KiB)
+        resid = yield from comm.allreduce(1.0, nbytes=8)
+    return resid
+
+
+rows = []
+for label, ranks, threads, proc, fabric in (
+    ("host 16x1", 16, 1, maia_host_processor(), host_fabric()),
+    ("phi 4x14 (1 thr/core)", 4, 14, xeon_phi_5110p(), phi_fabric(1)),
+    ("phi 4x28 (2 thr/core)", 4, 28, xeon_phi_5110p(), phi_fabric(1)),
+    ("phi 4x42 (3 thr/core)", 4, 42, xeon_phi_5110p(), phi_fabric(1)),
+    ("phi 4x56 (4 thr/core)", 4, 56, xeon_phi_5110p(), phi_fabric(1)),
+    ("phi 4x42, oversubscribed MPI", 4, 42, xeon_phi_5110p(), phi_fabric(4)),
+):
+    job = HybridJob(ranks, threads, proc, fabric)
+    result = job.run(overflow_like)
+    rows.append(
+        (label, ranks * threads, job.threads_per_core,
+         f"{result.elapsed * 1e3:.1f}")
+    )
+
+print(render_table(
+    ("decomposition", "total threads", "omp thr/core", "simulated ms"),
+    rows,
+    title="A hybrid step executed at six decompositions",
+))
+print("""
+Reading the ladder: 14 -> 28 -> 42 OpenMP threads per rank speed the Phi
+up as the extra hardware threads fill the in-order pipeline; the fourth
+context gives a little back (L1/TLB thrash - the 0.95 entry of the
+throughput table).  The last row repeats the best
+compute configuration but routes its messages through the fabric as seen
+at 4 MPI ranks per core: the halo exchange and allreduce now ride a
+time-sliced MPI stack - the paper's 'use one rank per core for
+communication-dominant codes' in executable form.""")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The four programming modes of Section 4, demonstrated on NPB MG.
+
+Native host, native Phi, and the three offload ports (one loop, one
+subroutine, whole computation) — Figure 25's comparison, plus the
+offload cost anatomy of Figures 26-27.
+
+Run:  python examples/mode_comparison.py
+"""
+
+from repro.core import Evaluator
+from repro.core.report import fmt_size, render_table
+from repro.machine import Device
+from repro.npb.characterization import class_c_kernel
+from repro.npb.mg_offload import collapse_gain, offload_regions
+
+ev = Evaluator()
+kernel = class_c_kernel("MG")
+
+# --- native modes ------------------------------------------------------------
+
+rows = []
+for label, dev, threads in (
+    ("native host, 16 threads", Device.HOST, 16),
+    ("native host, 32 threads (HyperThreading)", Device.HOST, 32),
+    ("native phi, 59 threads (1/core)", Device.PHI0, 59),
+    ("native phi, 177 threads (3/core)", Device.PHI0, 177),
+    ("native phi, 236 threads (4/core)", Device.PHI0, 236),
+):
+    m = ev.native(dev, kernel, threads)
+    rows.append((label, f"{m.time:.2f}", f"{m.gflops:.1f}"))
+
+# --- offload modes -----------------------------------------------------------
+
+for name, region in offload_regions("C").items():
+    m = ev.offload(region, n_threads=177)
+    rows.append(
+        (
+            f"offload ({name}): {region.invocations} invocations, "
+            f"{fmt_size(region.total_data)} shipped",
+            f"{m.time:.2f}",
+            f"{m.gflops:.2f}",
+        )
+    )
+
+print(render_table(
+    ("mode", "time (s)", "Gflop/s"),
+    rows,
+    title="NPB MG Class C under the four programming modes",
+))
+
+print("""
+Reading the table (cf. Figures 25-27):
+ * MG is the paper's one Phi win: streaming stencils + 512-bit vectors.
+ * HyperThreading costs the host ~6% — MG is bandwidth-bound.
+ * Every offload variant loses to both native modes: 'the main criteria
+   ... is the cost of data transfer and offload overhead'.
+ * Offloading the innermost loop re-ships its operands thousands of
+   times; offloading the whole computation ships the input once.""")
+
+print("Loop collapse (Figure 24): gain on the Phi at "
+      + ", ".join(f"{t} thr: {collapse_gain('C', t) * 100:+.0f}%"
+                  for t in (59, 118, 177, 236))
+      + f"; host 16 thr: {collapse_gain('C', 16) * 100:+.1f}%")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Write an MPI program once, run it on simulated transports.
+
+The simulated Communicator exposes an mpi4py-flavoured API (generator
+methods driven with ``yield from``).  The same program below — a
+distributed dot-product iteration with neighbour exchange, the skeleton
+of a distributed CG — runs on the host's shared-memory fabric, the Phi's
+fabric at 1 and 4 ranks/core, and across PCIe under both software
+stacks, exposing exactly the cost cliffs the paper measured.
+
+Run:  python examples/simulated_mpi.py
+"""
+
+import numpy as np
+
+from repro.core.report import render_table
+from repro.core.software import POST_UPDATE, PRE_UPDATE
+from repro.mpi import host_fabric, mpiexec, pcie_fabric, phi_fabric
+from repro.units import KiB, MiB
+
+
+def distributed_iteration(comm):
+    """One CG-like iteration: local work, halo exchange, allreduce."""
+    rng = np.random.default_rng(comm.rank)
+    local = rng.random(1000)
+    for _ in range(10):
+        # Local "matvec" (simulated compute time).
+        yield from comm.compute(50e-6)
+        # Halo exchange with ring neighbours.
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        env = yield from comm.sendrecv(
+            right, left, nbytes=8 * KiB, payload=float(local.sum())
+        )
+        # Global dot product.
+        rho = yield from comm.allreduce(float(local @ local), nbytes=8)
+    return rho
+
+
+rows = []
+for label, p, fabric in (
+    ("host shared memory, 16 ranks", 16, host_fabric()),
+    ("phi, 59 ranks (1/core)", 59, phi_fabric(1)),
+    ("phi, 236 ranks (4/core)", 236, phi_fabric(4)),
+):
+    result = mpiexec(p, fabric, distributed_iteration)
+    # Every rank computed the same allreduced value — check it.
+    assert all(abs(r - result.returns[0]) < 1e-9 for r in result.returns)
+    rows.append((label, f"{result.elapsed * 1e3:.2f}"))
+
+print(render_table(
+    ("configuration", "simulated ms"),
+    rows,
+    title="A CG-skeleton iteration on three intra-device transports",
+))
+
+# And across PCIe: the Section 5 software update, visible from user code.
+rows = []
+for label, stack in (("pre-update (CCL only)", PRE_UPDATE),
+                     ("post-update (CCL+SCIF)", POST_UPDATE)):
+
+    def shuttle(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=4 * MiB)
+        else:
+            yield from comm.recv(source=0)
+
+    r = mpiexec(2, pcie_fabric("host-phi0", stack), shuttle)
+    rows.append((label, f"{r.elapsed * 1e3:.2f}",
+                 f"{4 * MiB / r.elapsed / 1e9:.2f}"))
+print()
+print(render_table(
+    ("software stack", "ms for 4 MiB", "GB/s"),
+    rows,
+    title="Host->Phi0 transfer under the two software stacks (Figs 8-9)",
+))

@@ -1,0 +1,68 @@
+"""Ablated machine variants: turn one modeled mechanism off at a time.
+
+Each factory returns a Maia component with a single mechanism disabled,
+so the benchmark suite can demonstrate *which* mechanism produces each
+observed effect — the reproduction's answer to "is the model right for
+the right reason?".  DESIGN.md lists these as the design-choice ablations.
+
+| factory | mechanism removed | effect that should vanish |
+|---|---|---|
+| ``phi_without_bank_thrash``    | GDDR5 open-bank limit     | Fig 4's 180→140 GB/s drop |
+| ``post_update_without_scif``   | DAPL provider switching   | Fig 9's large-message gain |
+| ``phi_without_os_reservation`` | OS-core interference      | 59·k beating 60·k threads |
+| ``phi_with_full_scalar_ilp``   | in-order scalar penalty   | host winning EP |
+| ``phi_with_fast_gather``       | slow hardware gather      | CG being worst on the Phi |
+| ``phi_fabric_uncontended``     | MPI-stack time slicing    | Figs 10-14's 4 ranks/core blowup |
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.software import POST_UPDATE, SoftwareStack
+from repro.machine.presets import xeon_phi_5110p
+from repro.machine.spec import ProcessorSpec
+from repro.mpi.fabrics import PHI_BASE, Fabric, phi_fabric
+
+
+def phi_without_bank_thrash() -> ProcessorSpec:
+    """A Phi whose GDDR5 never thrashes its open banks."""
+    phi = xeon_phi_5110p()
+    return replace(phi, memory=replace(phi.memory, bank_thrash_factor=1.0))
+
+
+def post_update_without_scif() -> SoftwareStack:
+    """The post-update MPI stack with provider switching disabled:
+    CCL-direct carries every message size, as in the pre-update stack."""
+    return SoftwareStack(
+        name="post-update",  # keeps the post-update latency table
+        mpss_version=POST_UPDATE.mpss_version,
+        mpi_version=POST_UPDATE.mpi_version + " (SCIF disabled)",
+        eager_max=POST_UPDATE.eager_max,
+        ccl_rendezvous_max=None,
+    )
+
+
+def phi_without_os_reservation() -> ProcessorSpec:
+    """A Phi whose 60th core carries no OS interference."""
+    phi = xeon_phi_5110p()
+    return replace(phi, os_reserved_cores=0, os_core_penalty=1.0)
+
+
+def phi_with_full_scalar_ilp() -> ProcessorSpec:
+    """A Phi whose in-order cores magically extract full scalar ILP."""
+    phi = xeon_phi_5110p()
+    return replace(phi, core=replace(phi.core, scalar_efficiency=1.0))
+
+
+def phi_with_fast_gather() -> ProcessorSpec:
+    """A Phi with host-grade gather/scatter throughput."""
+    phi = xeon_phi_5110p()
+    return replace(phi, core=replace(phi.core, gather_scatter_efficiency=0.35))
+
+
+def phi_fabric_uncontended(ranks_per_core: int) -> Fabric:
+    """The intra-Phi fabric with the oversubscription penalties removed:
+    every ranks-per-core level performs like one rank per core."""
+    params = replace(PHI_BASE, name=f"phi-{ranks_per_core}tpc-uncontended")
+    return Fabric(params)

@@ -1,0 +1,26 @@
+"""Production-application proxies: OVERFLOW-2 and Cart3D (Section 3.7).
+
+Each application has two faces, mirroring the NPB package:
+
+* a **real mini-solver** exercising the same numerical structure
+  (multi-zone implicit ADI transport for OVERFLOW; finite-volume Euler
+  with Runge-Kutta for Cart3D), verified by manufactured solutions and
+  conservation laws;
+* a **performance model** reproducing the paper's Figures 21–23:
+  decomposition sweeps, native host/Phi comparisons, and OVERFLOW's
+  symmetric-mode runs under both software stacks.
+"""
+
+from repro.apps.datasets import DATASET_SPECS, GridSystem, dataset
+from repro.apps.overflow import OverflowModel, OverflowSolver
+from repro.apps.cart3d import Cart3dModel, Cart3dSolver
+
+__all__ = [
+    "Cart3dModel",
+    "Cart3dSolver",
+    "DATASET_SPECS",
+    "GridSystem",
+    "OverflowModel",
+    "OverflowSolver",
+    "dataset",
+]

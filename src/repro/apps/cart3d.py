@@ -1,0 +1,194 @@
+"""Cart3D proxy: inviscid finite-volume Euler solver (Section 3.7.2).
+
+* :class:`Cart3dSolver` — a real cell-centered finite-volume solver for
+  the 3D compressible Euler equations (Rusanov flux, two-stage
+  Runge-Kutta — Cart3D's Flowcart uses a cell-centered FV upwind scheme
+  with Runge-Kutta), on a periodic Cartesian box.  Verification uses the
+  scheme's exact conservation of mass, momentum and energy plus
+  positivity — the invariants any FV Euler implementation must keep.
+
+* :class:`Cart3dModel` — the Figure 21 performance model.  Cart3D "is not
+  heavily vectorized" (Section 7) and walks unstructured cell
+  connectivity (gather-dominated), so the host beats the best Phi
+  configuration 2×; on the Phi, 4 threads/core is optimal (Fig 21) —
+  the indirect access leaves so many stalls that every hardware thread
+  helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.apps.datasets import GridSystem, dataset
+from repro.core.results import Measurement
+from repro.execmodel.kernel import KernelSpec
+from repro.execmodel.roofline import kernel_time
+from repro.machine.node import Device
+from repro.machine.presets import maia_host_processor, xeon_phi_5110p
+from repro.machine.processor import Processor
+
+GAMMA = 1.4
+
+
+# ==========================================================================
+# Real mini-solver
+# ==========================================================================
+
+
+class Cart3dSolver:
+    """3D Euler on a periodic box: Rusanov fluxes + 2-stage Runge-Kutta."""
+
+    def __init__(self, n: int = 16, cfl: float = 0.4):
+        if n < 4:
+            raise ConfigError("n must be >= 4")
+        self.n = n
+        self.cfl = cfl
+        self.h = 1.0 / n
+
+    def initial_state(self) -> np.ndarray:
+        """A smooth density/pressure pulse at rest: U = (ρ, ρu, ρv, ρw, E)."""
+        n = self.n
+        x = (np.arange(n) + 0.5) * self.h
+        X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+        r2 = (X - 0.5) ** 2 + (Y - 0.5) ** 2 + (Z - 0.5) ** 2
+        rho = 1.0 + 0.2 * np.exp(-60.0 * r2)
+        p = rho**GAMMA  # isentropic pulse
+        U = np.zeros((5, n, n, n))
+        U[0] = rho
+        U[4] = p / (GAMMA - 1.0)
+        return U
+
+    @staticmethod
+    def primitive(U: np.ndarray):
+        rho = U[0]
+        u = U[1] / rho
+        v = U[2] / rho
+        w = U[3] / rho
+        kinetic = 0.5 * rho * (u * u + v * v + w * w)
+        p = (GAMMA - 1.0) * (U[4] - kinetic)
+        return rho, u, v, w, p
+
+    def _flux(self, U: np.ndarray, axis: int) -> np.ndarray:
+        rho, u, v, w, p = self.primitive(U)
+        vel = (u, v, w)[axis]
+        F = np.empty_like(U)
+        F[0] = rho * vel
+        F[1] = U[1] * vel
+        F[2] = U[2] * vel
+        F[3] = U[3] * vel
+        F[axis + 1] += p
+        F[4] = (U[4] + p) * vel
+        return F
+
+    def _rusanov_divergence(self, U: np.ndarray) -> np.ndarray:
+        """−∇·F with Rusanov (local Lax-Friedrichs) interface fluxes."""
+        rho, u, v, w, p = self.primitive(U)
+        c = np.sqrt(GAMMA * np.maximum(p, 1e-12) / rho)
+        div = np.zeros_like(U)
+        for axis in range(3):
+            vel = (u, v, w)[axis]
+            lam = np.abs(vel) + c
+            F = self._flux(U, axis)
+            ax = axis + 1  # component axes offset by the state index
+            Up = np.roll(U, -1, ax)
+            Fp = np.roll(F, -1, ax)
+            lam_face = np.maximum(lam, np.roll(lam, -1, axis))
+            flux_face = 0.5 * (F + Fp) - 0.5 * lam_face * (Up - U)
+            div -= (flux_face - np.roll(flux_face, 1, ax)) / self.h
+        return div
+
+    def max_wavespeed(self, U: np.ndarray) -> float:
+        rho, u, v, w, p = self.primitive(U)
+        c = np.sqrt(GAMMA * np.maximum(p, 1e-12) / rho)
+        return float((np.abs(u) + np.abs(v) + np.abs(w) + c).max())
+
+    def step(self, U: np.ndarray) -> Tuple[np.ndarray, float]:
+        """One RK2 step; returns (new state, dt)."""
+        dt = self.cfl * self.h / self.max_wavespeed(U)
+        U1 = U + dt * self._rusanov_divergence(U)
+        U2 = 0.5 * (U + U1 + dt * self._rusanov_divergence(U1))
+        return U2, dt
+
+    def run(self, steps: int = 10) -> Dict[str, float]:
+        U = self.initial_state()
+        totals0 = U.sum(axis=(1, 2, 3)) * self.h**3
+        for _ in range(steps):
+            U, _ = self.step(U)
+        totals = U.sum(axis=(1, 2, 3)) * self.h**3
+        rho, _, _, _, p = self.primitive(U)
+        return {
+            "mass_drift": float(abs(totals[0] - totals0[0])),
+            "energy_drift": float(abs(totals[4] - totals0[4])),
+            "momentum_drift": float(np.abs(totals[1:4] - totals0[1:4]).max()),
+            "min_density": float(rho.min()),
+            "min_pressure": float(p.min()),
+        }
+
+    def verify(self, steps: int = 10) -> bool:
+        r = self.run(steps)
+        return (
+            r["mass_drift"] < 1e-12
+            and r["energy_drift"] < 1e-12
+            and r["momentum_drift"] < 1e-12
+            and r["min_density"] > 0
+            and r["min_pressure"] > 0
+        )
+
+
+# ==========================================================================
+# Performance model (Figure 21)
+# ==========================================================================
+
+#: ≈3000 flops per cell per multigrid-accelerated RK iteration.
+FLOPS_PER_CELL = 3000.0
+INTENSITY = 2.5  # flux assembly reuses cell data heavily
+#: Cart3D prefers 4 threads/core on the Phi (Fig 21).
+TT_PREFER_4 = {1: 0.50, 2: 0.85, 3: 0.95, 4: 1.00}
+
+
+class Cart3dModel:
+    """Prices Cart3D iterations for the Fig 21 thread sweep."""
+
+    def __init__(self, grid: Optional[GridSystem] = None):
+        self.grid = grid or dataset("OneraM6")
+        self._host = Processor(maia_host_processor())
+        self._phi = Processor(xeon_phi_5110p())
+
+    def kernel(self) -> KernelSpec:
+        flops = FLOPS_PER_CELL * self.grid.grid_points
+        return KernelSpec(
+            name=f"cart3d[{self.grid.name}]",
+            flops=flops,
+            memory_traffic=flops / INTENSITY,
+            vector_fraction=0.15,  # "Cart3D is not heavily vectorized"
+            gather_fraction=0.70,  # unstructured cell connectivity
+            streaming_fraction=0.30,
+            memory_streams_per_thread=2,
+            parallel_fraction=0.9995,
+            footprint=self.grid.footprint,
+            thread_table=TT_PREFER_4,
+        )
+
+    def iteration(self, device: Device, n_threads: int) -> Measurement:
+        device = Device(device)
+        proc = self._host if device is Device.HOST else self._phi
+        t = kernel_time(self.kernel(), proc, n_threads)
+        flops = self.kernel().flops
+        return Measurement(
+            name=f"cart3d[{self.grid.name}]",
+            time=t.total,
+            unit="iteration",
+            gflops=flops / t.total / 1e9,
+            config={"device": device.value, "threads": n_threads, "bound": t.bound},
+        )
+
+    def figure21(self) -> Dict[str, Measurement]:
+        """Host at 16 threads; Phi at 59/118/177/236."""
+        out = {"host-16": self.iteration(Device.HOST, 16)}
+        for tpc in (1, 2, 3, 4):
+            out[f"phi-{59 * tpc}"] = self.iteration(Device.PHI0, 59 * tpc)
+        return out

@@ -1,0 +1,39 @@
+"""The paper's evaluation framework: programming modes, software stacks,
+the evaluator, sweeps and reporting.
+
+This package is the "core contribution" layer of the reproduction: it
+combines the machine models (:mod:`repro.machine`), the execution model
+(:mod:`repro.execmodel`) and the simulated runtimes (:mod:`repro.mpi`,
+:mod:`repro.openmp`) into the four programming modes of the paper's
+Section 4 — native host, native Phi, offload and symmetric — and runs
+workloads under them.
+"""
+
+from repro.core.evaluator import Evaluator
+from repro.core.modes import ProgrammingMode
+from repro.core.offload import OffloadCostModel, OffloadRegion, OffloadReport
+from repro.core.results import Measurement, ResultSet
+from repro.core.software import PRE_UPDATE, POST_UPDATE, SoftwareStack
+from repro.core.symmetric import (
+    SymmetricRun,
+    SymmetricStep,
+    WorkPartition,
+    partition_zones,
+)
+
+__all__ = [
+    "Evaluator",
+    "Measurement",
+    "OffloadCostModel",
+    "OffloadRegion",
+    "OffloadReport",
+    "POST_UPDATE",
+    "PRE_UPDATE",
+    "ProgrammingMode",
+    "ResultSet",
+    "SoftwareStack",
+    "SymmetricRun",
+    "SymmetricStep",
+    "WorkPartition",
+    "partition_zones",
+]

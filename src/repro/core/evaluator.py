@@ -1,0 +1,150 @@
+"""The Evaluator: one front door for running a workload under any mode.
+
+Binds a node (machine models), a software stack, and the runtime cost
+models together::
+
+    ev = Evaluator()                      # Maia, post-update software
+    m = ev.native(Device.PHI0, kernel, n_threads=177)
+    m.gflops                              # the Fig 19/25 y-axis
+
+The evaluator prices OpenMP synchronization into native runs (the
+roofline's ``sync_cost``) using the Fig 15 barrier model, enforces device
+memory limits (FT-on-Phi fails), and exposes offload and symmetric modes
+through their dedicated models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.core.modes import ProgrammingMode
+from repro.core.offload import OffloadCostModel, OffloadRegion, OffloadReport
+from repro.core.results import Measurement
+from repro.core.software import POST_UPDATE, SoftwareStack
+from repro.execmodel.kernel import KernelSpec
+from repro.execmodel.roofline import kernel_time
+from repro.machine.node import Device, MaiaNode
+from repro.machine.presets import maia_host_processor, maia_node
+from repro.machine.processor import Processor
+from repro.openmp.constructs import barrier_cost
+
+
+class Evaluator:
+    """Runs kernels on a Maia node under the four programming modes."""
+
+    def __init__(
+        self,
+        node: Optional[MaiaNode] = None,
+        software: SoftwareStack = POST_UPDATE,
+    ):
+        self.node = node or maia_node()
+        self.software = software
+        self._processors: Dict[Device, Processor] = {}
+
+    def processor(self, dev: Device) -> Processor:
+        """The device as a Processor facade (host = merged 16-core view)."""
+        dev = Device(dev)
+        if dev not in self._processors:
+            if dev is Device.HOST:
+                self._processors[dev] = Processor(maia_host_processor())
+            else:
+                self._processors[dev] = Processor(self.node.processor(dev))
+        return self._processors[dev]
+
+    # ----------------------------------------------------------- native
+
+    def native(
+        self,
+        dev: Device,
+        kernel: KernelSpec,
+        n_threads: int,
+        check_memory: bool = True,
+    ) -> Measurement:
+        """Native-mode execution of ``kernel`` on ``dev``.
+
+        Synchronization points are priced with the device's barrier
+        overhead at this thread count (Fig 15's model).
+        """
+        proc = self.processor(dev)
+        sync = barrier_cost(proc.spec, n_threads) if kernel.sync_points else 0.0
+        t = kernel_time(kernel, proc, n_threads, sync_cost=sync, check_memory=check_memory)
+        mode = (
+            ProgrammingMode.NATIVE_HOST
+            if Device(dev) is Device.HOST
+            else ProgrammingMode.NATIVE_PHI
+        )
+        return Measurement(
+            name=kernel.name,
+            time=t.total,
+            unit="run",
+            gflops=kernel.flops / t.total / 1e9 if kernel.flops else None,
+            config={
+                "mode": mode,
+                "device": Device(dev).value,
+                "threads": n_threads,
+                "bound": t.bound,
+            },
+        )
+
+    # ---------------------------------------------------------- offload
+
+    def offload_model(
+        self, target: Device = Device.PHI0, n_threads: int = 177
+    ) -> OffloadCostModel:
+        """An offload cost model targeting ``target``."""
+        target = Device(target)
+        if target is Device.HOST:
+            raise ConfigError("cannot offload to the host")
+        link = self.node.link(Device.HOST, target)
+        return OffloadCostModel(link, self.processor(target), n_threads=n_threads)
+
+    def offload(
+        self,
+        region: OffloadRegion,
+        target: Device = Device.PHI0,
+        n_threads: int = 177,
+    ) -> Measurement:
+        """Offload-mode execution; time covers all invocations."""
+        report: OffloadReport = self.offload_model(target, n_threads).run(region)
+        flops = region.kernel.flops * region.invocations
+        return Measurement(
+            name=region.name,
+            time=report.total,
+            unit="run",
+            gflops=flops / report.total / 1e9 if flops else None,
+            config={
+                "mode": ProgrammingMode.OFFLOAD,
+                "device": Device(target).value,
+                "threads": n_threads,
+                "invocations": report.invocations,
+                "overhead": report.overhead,
+                "total_data": report.total_data,
+            },
+        )
+
+    # ------------------------------------------------------- comparisons
+
+    def best_native(
+        self,
+        kernel: KernelSpec,
+        thread_counts_host=(16,),
+        thread_counts_phi=(59, 118, 177, 236),
+    ) -> Dict[str, Measurement]:
+        """Best native-host and native-Phi points (the paper's headline
+        comparison: 'a single Phi card had about half the performance of
+        the two host Xeon processors')."""
+        host = min(
+            (self.native(Device.HOST, kernel, t) for t in thread_counts_host),
+            key=lambda m: m.time,
+        )
+        phi_runs = []
+        for t in thread_counts_phi:
+            try:
+                phi_runs.append(self.native(Device.PHI0, kernel, t))
+            except Exception:
+                continue
+        if not phi_runs:
+            raise ConfigError(f"{kernel.name}: no feasible Phi configuration")
+        phi = min(phi_runs, key=lambda m: m.time)
+        return {"host": host, "phi": phi}

@@ -1,0 +1,27 @@
+"""The four programming modes of the paper's Section 4."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ProgrammingMode(str, enum.Enum):
+    """How an application uses the heterogeneous node.
+
+    * ``NATIVE_HOST`` — everything on the two Sandy Bridge processors.
+    * ``NATIVE_PHI`` — everything on one Phi card (code unchanged, but
+      memory is tight and serial regions crawl).
+    * ``OFFLOAD`` — host program ships compute-intensive regions to the
+      Phi via offload directives; pays per-invocation marshalling and
+      PCIe transfer.
+    * ``SYMMETRIC`` — MPI ranks on host *and* both Phis; needs careful
+      load balancing and pays PCIe for inter-device messages.
+    """
+
+    NATIVE_HOST = "native-host"
+    NATIVE_PHI = "native-phi"
+    OFFLOAD = "offload"
+    SYMMETRIC = "symmetric"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

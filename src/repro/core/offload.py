@@ -1,0 +1,218 @@
+"""Offload-mode cost model (Sections 4.1, 6.9.1.4–6.9.1.7).
+
+The paper decomposes offload cost into three components, reported by
+Intel's OFFLOAD_REPORT tool:
+
+* setup + data gather/scatter time on the host,
+* PCIe transfer time,
+* setup + data gather/scatter time on the Phi,
+
+per *invocation*, so "the main criteria to evaluate whether an
+application is suitable for offload mode is the cost of data transfer and
+offload overhead" — offloading one inner loop (many invocations, most
+total data) loses to offloading the whole computation (one invocation,
+least data).  :class:`OffloadRegion` describes a region's per-invocation
+shape; :class:`OffloadCostModel` prices a run and produces the Fig 25–27
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.execmodel.kernel import KernelSpec
+from repro.execmodel.roofline import kernel_time
+from repro.machine.pcie import PcieLink
+from repro.machine.processor import Processor
+from repro.units import GB, US
+
+
+@dataclass(frozen=True)
+class OffloadRegion:
+    """One offloaded region of an application.
+
+    ``kernel`` is the per-invocation work executed on the coprocessor;
+    ``data_in``/``data_out`` are bytes shipped per invocation;
+    ``invocations`` how many times the region runs per application run;
+    ``host_residual`` is per-invocation host work that cannot be offloaded
+    (loop control around the offloaded loop, un-offloaded phases).
+    """
+
+    name: str
+    kernel: KernelSpec
+    data_in: int
+    data_out: int
+    invocations: int
+    host_residual: float = 0.0  # seconds per invocation
+
+    def __post_init__(self) -> None:
+        if self.data_in < 0 or self.data_out < 0:
+            raise ConfigError(f"{self.name}: negative data sizes")
+        if self.invocations < 1:
+            raise ConfigError(f"{self.name}: invocations must be >= 1")
+        if self.host_residual < 0:
+            raise ConfigError(f"{self.name}: negative host residual")
+
+    @property
+    def total_data(self) -> int:
+        """Total bytes crossing PCIe over the whole run (Fig 27)."""
+        return (self.data_in + self.data_out) * self.invocations
+
+
+@dataclass(frozen=True)
+class OffloadReport:
+    """Cost breakdown of one offloaded run (the OFFLOAD_REPORT equivalent)."""
+
+    region: str
+    invocations: int
+    total_data: int
+    host_setup_time: float
+    transfer_time: float
+    phi_setup_time: float
+    kernel_time: float
+    host_residual_time: float
+
+    @property
+    def overhead(self) -> float:
+        """Everything that is not coprocessor compute (Fig 26's bars)."""
+        return self.host_setup_time + self.transfer_time + self.phi_setup_time
+
+    @property
+    def total(self) -> float:
+        return self.overhead + self.kernel_time + self.host_residual_time
+
+    def components(self) -> Dict[str, float]:
+        return {
+            "host_setup": self.host_setup_time,
+            "pcie_transfer": self.transfer_time,
+            "phi_setup": self.phi_setup_time,
+            "kernel": self.kernel_time,
+            "host_residual": self.host_residual_time,
+        }
+
+
+class OffloadCostModel:
+    """Prices offloaded regions on a (host link → Phi) pair.
+
+    Parameters
+    ----------
+    link:
+        The PCIe link to the target coprocessor.
+    phi:
+        The coprocessor as a :class:`~repro.machine.processor.Processor`.
+    n_threads:
+        OpenMP threads used inside offloaded regions (the paper's offload
+        runs used 3/core → 177).
+    host_setup_base / phi_setup_base:
+        Fixed per-invocation runtime costs (directive dispatch, descriptor
+        exchange, thread wake-up on the card).
+    marshal_bandwidth:
+        Rate of the host/Phi-side gather/scatter into transfer buffers.
+    """
+
+    def __init__(
+        self,
+        link: PcieLink,
+        phi: Processor,
+        n_threads: int = 177,
+        host_setup_base: float = 18 * US,
+        phi_setup_base: float = 35 * US,
+        marshal_bandwidth: float = 4 * GB,
+        sync_cost: float = 0.0,
+    ):
+        if n_threads < 1:
+            raise ConfigError("n_threads must be >= 1")
+        self.link = link
+        self.phi = phi
+        self.n_threads = n_threads
+        self.host_setup_base = host_setup_base
+        self.phi_setup_base = phi_setup_base
+        self.marshal_bandwidth = marshal_bandwidth
+        self.sync_cost = sync_cost
+
+    def invocation_overhead(self, region: OffloadRegion) -> Dict[str, float]:
+        """Per-invocation overhead components (seconds)."""
+        data = region.data_in + region.data_out
+        host_setup = self.host_setup_base + data / self.marshal_bandwidth
+        transfer = self.link.transfer_time(region.data_in) + self.link.transfer_time(
+            region.data_out
+        )
+        phi_setup = self.phi_setup_base + data / self.marshal_bandwidth
+        return {
+            "host_setup": host_setup,
+            "pcie_transfer": transfer,
+            "phi_setup": phi_setup,
+        }
+
+    def run(self, region: OffloadRegion) -> OffloadReport:
+        """Price a full run of ``region`` (all invocations)."""
+        per = self.invocation_overhead(region)
+        n = region.invocations
+        exec_time = (
+            kernel_time(
+                region.kernel, self.phi, self.n_threads, sync_cost=self.sync_cost
+            ).total
+            * n
+        )
+        return OffloadReport(
+            region=region.name,
+            invocations=n,
+            total_data=region.total_data,
+            host_setup_time=per["host_setup"] * n,
+            transfer_time=per["pcie_transfer"] * n,
+            phi_setup_time=per["phi_setup"] * n,
+            kernel_time=exec_time,
+            host_residual_time=region.host_residual * n,
+        )
+
+    def compare(self, *regions: OffloadRegion) -> Dict[str, OffloadReport]:
+        """Run several offload strategies of the same application (the
+        paper's loop / subroutine / whole-computation comparison)."""
+        return {r.name: self.run(r) for r in regions}
+
+
+def dual_phi_offload(
+    model0: "OffloadCostModel",
+    model1: "OffloadCostModel",
+    region: OffloadRegion,
+) -> Dict[str, float]:
+    """Offload half the work to each Phi concurrently — the experiment the
+    paper points at but never ran ("next generation ... is expected to be
+    promising").
+
+    The two cards compute in parallel, but the *host side* serializes:
+    one set of host cores marshals both transfer streams, and the two
+    PCIe links share the root complex's upstream port.  The achievable
+    speedup over single-card offload is therefore well under 2× for
+    transfer-heavy regions — quantifying why the paper's symmetric mode
+    (true MPI ranks on each card) was the better path for OVERFLOW.
+    """
+    half = OffloadRegion(
+        name=region.name + "/half",
+        kernel=region.kernel.scaled(0.5),
+        data_in=region.data_in // 2,
+        data_out=region.data_out // 2,
+        invocations=region.invocations,
+        host_residual=region.host_residual,
+    )
+    rep0 = model0.run(half)
+    rep1 = model1.run(half)
+    # Kernels overlap fully; host marshalling serializes; the two DMA
+    # streams share upstream bandwidth (concurrency factor 1.6 of one
+    # link rather than 2.0).
+    kernel = max(rep0.kernel_time, rep1.kernel_time)
+    host_setup = rep0.host_setup_time + rep1.host_setup_time
+    transfer = (rep0.transfer_time + rep1.transfer_time) / 1.6
+    phi_setup = max(rep0.phi_setup_time, rep1.phi_setup_time)
+    total = kernel + host_setup + transfer + phi_setup + rep0.host_residual_time
+    single = model0.run(region).total
+    return {
+        "total": total,
+        "single_card": single,
+        "speedup": single / total,
+        "kernel": kernel,
+        "host_setup": host_setup,
+        "transfer": transfer,
+    }

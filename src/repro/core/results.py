@@ -1,0 +1,90 @@
+"""Measurement containers for evaluation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One experimental point.
+
+    ``time`` is simulated seconds for the measured unit (an iteration, a
+    full run — recorded in ``unit``); ``gflops`` is derived throughput
+    where meaningful.  ``config`` carries the sweep coordinates (threads,
+    ranks, message size, mode, …).
+    """
+
+    name: str
+    time: float
+    unit: str = "run"
+    gflops: Optional[float] = None
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"{self.name}: negative time")
+
+    def with_config(self, **kw) -> "Measurement":
+        cfg = dict(self.config)
+        cfg.update(kw)
+        return Measurement(self.name, self.time, self.unit, self.gflops, cfg)
+
+
+class ResultSet:
+    """An ordered collection of measurements with query helpers."""
+
+    def __init__(self, measurements: Iterable[Measurement] = ()):
+        self._items: List[Measurement] = list(measurements)
+
+    def add(self, m: Measurement) -> None:
+        self._items.append(m)
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, idx: int) -> Measurement:
+        return self._items[idx]
+
+    def filter(self, predicate: Callable[[Measurement], bool]) -> "ResultSet":
+        return ResultSet(m for m in self._items if predicate(m))
+
+    def where(self, **config) -> "ResultSet":
+        def pred(m: Measurement) -> bool:
+            return all(m.config.get(k) == v for k, v in config.items())
+
+        return self.filter(pred)
+
+    def best(self, by: str = "time") -> Measurement:
+        """Fastest (by time) or highest-throughput (by gflops) point."""
+        if not self._items:
+            raise ConfigError("empty result set")
+        if by == "time":
+            return min(self._items, key=lambda m: m.time)
+        if by == "gflops":
+            return max(self._items, key=lambda m: m.gflops or 0.0)
+        raise ConfigError(f"unknown criterion {by!r}")
+
+    def worst(self, by: str = "time") -> Measurement:
+        if not self._items:
+            raise ConfigError("empty result set")
+        if by == "time":
+            return max(self._items, key=lambda m: m.time)
+        if by == "gflops":
+            return min(self._items, key=lambda m: m.gflops or 0.0)
+        raise ConfigError(f"unknown criterion {by!r}")
+
+    def ratio(self, slow: Measurement, fast: Measurement) -> float:
+        """slow.time / fast.time — the paper's "higher by a factor of"."""
+        if fast.time == 0:
+            raise ConfigError("division by zero time")
+        return slow.time / fast.time
+
+    def times(self) -> List[float]:
+        return [m.time for m in self._items]

@@ -1,0 +1,78 @@
+"""Software stacks: the pre-update and post-update environments of Section 5.
+
+The paper's evaluation straddled a software upgrade:
+
+* **pre-update** — MPSS Gold, Intel MPI 4.1.0.030: the CCL-direct DAPL
+  provider (``ofa-v2-mlx4_0-1``) carries *all* message sizes over PCIe.
+* **post-update** — MPSS Gold update 3, Intel MPI 4.1.1.036: automatic
+  DAPL provider switching via
+  ``I_MPI_DAPL_DIRECT_COPY_THRESHOLD=8192,262144`` and
+  ``I_MPI_DAPL_PROVIDER_LIST=ofa-v2-mlx4_0-1,ofa-v2-scif0`` —
+  ≤8 KiB: eager through CCL direct; ≤256 KiB: rendezvous direct-copy
+  through CCL; >256 KiB: rendezvous through DAPL-over-SCIF, whose PCIe
+  data path has far higher bandwidth.
+
+Only PCIe paths care about the stack (the update "does not affect the MPI
+performance of the native Phi mode or native host mode").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.units import KiB
+
+
+@dataclass(frozen=True)
+class SoftwareStack:
+    """One MPSS + Intel MPI environment.
+
+    ``eager_max`` — largest message using the eager protocol;
+    ``ccl_rendezvous_max`` — largest message kept on the CCL-direct
+    provider (``None`` = no SCIF switching: CCL carries everything).
+    """
+
+    name: str
+    mpss_version: str
+    mpi_version: str
+    eager_max: int
+    ccl_rendezvous_max: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.eager_max <= 0:
+            raise ConfigError("eager_max must be positive")
+        if self.ccl_rendezvous_max is not None and self.ccl_rendezvous_max < self.eager_max:
+            raise ConfigError("ccl_rendezvous_max must be >= eager_max")
+
+    @property
+    def has_scif(self) -> bool:
+        return self.ccl_rendezvous_max is not None
+
+    def provider_for(self, nbytes: int) -> str:
+        """Which DAPL provider carries a PCIe message of ``nbytes``."""
+        if self.ccl_rendezvous_max is not None and nbytes > self.ccl_rendezvous_max:
+            return "scif"
+        return "ccl"
+
+    def protocol_for(self, nbytes: int) -> str:
+        """``"eager"`` or ``"rendezvous"`` for a message of ``nbytes``."""
+        return "eager" if nbytes <= self.eager_max else "rendezvous"
+
+
+PRE_UPDATE = SoftwareStack(
+    name="pre-update",
+    mpss_version="MPSS Gold",
+    mpi_version="Intel MPI 4.1.0.030",
+    eager_max=8 * KiB,
+    ccl_rendezvous_max=None,  # CCL direct for all message sizes
+)
+
+POST_UPDATE = SoftwareStack(
+    name="post-update",
+    mpss_version="MPSS Gold update 3",
+    mpi_version="Intel MPI 4.1.1.036",
+    eager_max=8 * KiB,
+    ccl_rendezvous_max=256 * KiB,  # beyond this: DAPL over SCIF
+)

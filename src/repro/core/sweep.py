@@ -1,0 +1,72 @@
+"""Parameter sweeps: the shape of every figure in the paper.
+
+Helpers that run an evaluator or cost model over a grid and return a
+:class:`~repro.core.results.ResultSet` — thread counts (Figs 19, 21),
+message sizes (Figs 8–14), (I × J) MPI×OpenMP decompositions (Fig 22).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.core.evaluator import Evaluator
+from repro.core.results import Measurement, ResultSet
+from repro.execmodel.kernel import KernelSpec
+from repro.machine.node import Device
+from repro.units import KiB
+
+
+def message_size_sweep(
+    start: int = 1, stop: int = 4 * 1024 * KiB, per_decade: bool = False
+) -> List[int]:
+    """The classic 1 B → 4 MiB power-of-two message-size axis."""
+    sizes = []
+    s = start
+    while s <= stop:
+        sizes.append(s)
+        s *= 2
+    return sizes
+
+
+def thread_sweep(
+    evaluator: Evaluator,
+    kernel: KernelSpec,
+    dev: Device,
+    thread_counts: Sequence[int],
+    skip_infeasible: bool = True,
+) -> ResultSet:
+    """Native runs over a list of thread counts (Figs 19/21/25 x-axis)."""
+    results = ResultSet()
+    for t in thread_counts:
+        try:
+            results.add(evaluator.native(dev, kernel, t))
+        except Exception:
+            if not skip_infeasible:
+                raise
+    return results
+
+
+def decomposition_sweep(
+    run_fn: Callable[[int, int], Measurement],
+    decompositions: Iterable[Tuple[int, int]],
+) -> ResultSet:
+    """(I MPI ranks × J OpenMP threads) sweep (Fig 22's x-axis).
+
+    ``run_fn(i, j)`` prices one decomposition; infeasible points raise
+    and are skipped.
+    """
+    results = ResultSet()
+    for i, j in decompositions:
+        if i < 1 or j < 1:
+            raise ConfigError(f"invalid decomposition {i}x{j}")
+        try:
+            results.add(run_fn(i, j).with_config(ranks=i, omp_threads=j))
+        except Exception:
+            continue
+    return results
+
+
+def phi_thread_counts(threads_per_core: Sequence[int] = (1, 2, 3, 4)) -> List[int]:
+    """The paper's Phi thread counts: 59 cores × 1..4 threads."""
+    return [59 * k for k in threads_per_core]

@@ -1,0 +1,164 @@
+"""Symmetric-mode execution: host + Phi0 + Phi1 as one MPI job (Section 4.4).
+
+"The challenge is to optimally load balance the work between the host and
+coprocessors."  This module provides:
+
+* :func:`partition_zones` — an LPT (longest-processing-time) greedy
+  balancer assigning indivisible work units (OVERFLOW's overset-grid
+  zones) to devices weighted by each device's effective compute rate;
+* :class:`WorkPartition` — the result, with its achieved imbalance;
+* :class:`SymmetricRun` — prices one time step: per-device compute from
+  the roofline model, plus inter-device MPI over PCIe under the active
+  software stack (this is where the pre→post update gain of Fig 23 comes
+  from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.core.software import SoftwareStack
+from repro.machine.node import Device
+
+
+def partition_zones(
+    zone_sizes: Sequence[float], rates: Mapping[Device, float]
+) -> Dict[Device, List[int]]:
+    """LPT greedy: place each zone (largest first) on the device that would
+    finish its current load soonest, weighted by device rate.
+
+    Returns device → list of zone indices.
+    """
+    if not zone_sizes:
+        raise ConfigError("no zones to partition")
+    if not rates or any(r <= 0 for r in rates.values()):
+        raise ConfigError("device rates must be positive")
+    bins: Dict[Device, float] = {d: 0.0 for d in rates}
+    assignment: Dict[Device, List[int]] = {d: [] for d in rates}
+    order = sorted(range(len(zone_sizes)), key=lambda i: -zone_sizes[i])
+    for i in order:
+        dev = min(bins, key=lambda d: (bins[d] + zone_sizes[i]) / rates[d])
+        bins[dev] += zone_sizes[i]
+        assignment[dev].append(i)
+    return assignment
+
+
+@dataclass(frozen=True)
+class WorkPartition:
+    """Zones assigned to devices, with load statistics."""
+
+    assignment: Mapping[Device, List[int]]
+    zone_sizes: Sequence[float]
+    rates: Mapping[Device, float]
+
+    @classmethod
+    def balanced(
+        cls, zone_sizes: Sequence[float], rates: Mapping[Device, float]
+    ) -> "WorkPartition":
+        return cls(partition_zones(zone_sizes, rates), list(zone_sizes), dict(rates))
+
+    def load(self, dev: Device) -> float:
+        return sum(self.zone_sizes[i] for i in self.assignment.get(dev, []))
+
+    def finish_time(self, dev: Device) -> float:
+        """Relative time for ``dev`` to process its share (load / rate)."""
+        return self.load(dev) / self.rates[dev]
+
+    @property
+    def imbalance(self) -> float:
+        """max finish time / ideal finish time (1.0 = perfect balance)."""
+        total = sum(self.zone_sizes)
+        ideal = total / sum(self.rates.values())
+        worst = max(self.finish_time(d) for d in self.rates)
+        return worst / ideal
+
+    def share(self, dev: Device) -> float:
+        """Fraction of total work on ``dev``."""
+        return self.load(dev) / sum(self.zone_sizes)
+
+
+@dataclass(frozen=True)
+class SymmetricStep:
+    """One symmetric-mode time step's cost breakdown."""
+
+    compute_time: float
+    comm_time: float
+    imbalance_time: float
+
+    @property
+    def total(self) -> float:
+        return self.compute_time + self.comm_time + self.imbalance_time
+
+
+class SymmetricRun:
+    """Prices symmetric-mode execution of a zone-decomposed workload.
+
+    Parameters
+    ----------
+    compute_time_fn:
+        ``(device, work_fraction) → seconds/step`` — the per-device
+        roofline time for that share of the work (supplied by the
+        application characterization).
+    halo_bytes:
+        Bytes exchanged across PCIe per step (host↔Phi0, host↔Phi1 and
+        Phi0↔Phi1 each carry a third — the overset-grid interpolation
+        traffic is spread over the pairs).
+    software:
+        The MPI stack (pre/post update) pricing the PCIe messages.
+    message_size:
+        Typical MPI message size for halo traffic (sets the provider).
+    """
+
+    PATHS = ("host-phi0", "host-phi1", "phi0-phi1")
+
+    def __init__(
+        self,
+        compute_time_fn,
+        partition: WorkPartition,
+        halo_bytes: float,
+        software: SoftwareStack,
+        message_size: int = 512 * 1024,
+    ):
+        if halo_bytes < 0:
+            raise ConfigError("halo_bytes must be non-negative")
+        self.compute_time_fn = compute_time_fn
+        self.partition = partition
+        self.halo_bytes = halo_bytes
+        self.software = software
+        self.message_size = message_size
+
+    def comm_time(self) -> float:
+        """Per-step PCIe communication time under the software stack."""
+        # Imported here: repro.mpi.protocols consumes repro.core.software,
+        # so a module-level import would be circular.
+        from repro.mpi.protocols import pcie_fabric
+
+        if self.halo_bytes == 0:
+            return 0.0
+        per_path = self.halo_bytes / len(self.PATHS)
+        total = 0.0
+        for path in self.PATHS:
+            fabric = pcie_fabric(path, self.software)
+            n_msgs = max(1, round(per_path / self.message_size))
+            total += n_msgs * fabric.p2p_time(min(self.message_size, int(per_path)))
+        # The three paths share the host's PCIe root complex; serialized
+        # arbitration means their times add rather than overlap fully.
+        return total
+
+    def step(self) -> SymmetricStep:
+        devices = list(self.partition.rates)
+        times = {
+            d: self.compute_time_fn(d, self.partition.share(d)) for d in devices
+        }
+        slowest = max(times.values())
+        ideal = sum(t * self.partition.share(d) for d, t in times.items())
+        # Imbalance: everyone waits for the slowest device each step.
+        imbalance = slowest - min(times.values())
+        compute = min(times.values())
+        return SymmetricStep(
+            compute_time=compute,
+            comm_time=self.comm_time(),
+            imbalance_time=imbalance,
+        )

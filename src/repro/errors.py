@@ -1,0 +1,53 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error the library raises derives from :class:`ReproError`, so callers
+can catch the whole family with one clause.  Hardware-faithful failure modes
+(running out of coprocessor memory, unsupported rank counts) get their own
+classes because the paper's experiments hinge on them — e.g. NPB FT could
+not run on the Phi at all (Section 6.8.2) and MPI_Alltoall failed beyond
+4 KiB messages at 236 ranks (Section 6.4.5).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all :mod:`repro` errors."""
+
+
+class ConfigError(ReproError):
+    """A machine/software/workload specification is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an impossible state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+
+class OutOfMemoryError(ReproError):
+    """A workload's footprint exceeds the target device memory.
+
+    Mirrors the paper's observed failures: NPB FT needs ≥10 GB but each
+    Phi card has only 8 GB; MPI_Alltoall at 236 ranks exhausts memory for
+    messages larger than 4 KiB.
+    """
+
+    def __init__(self, required: float, available: float, what: str = "workload"):
+        self.required = float(required)
+        self.available = float(available)
+        self.what = what
+        super().__init__(
+            f"{what} requires {required / 2**30:.2f} GiB "
+            f"but only {available / 2**30:.2f} GiB is available"
+        )
+
+
+class UnsupportedConfigurationError(ReproError):
+    """A benchmark constraint is violated (e.g. BT/SP need square rank counts)."""
+
+
+class VerificationError(ReproError):
+    """An NPB kernel (or app proxy) produced a result outside tolerance."""

@@ -1,0 +1,122 @@
+"""KernelSpec: the resource signature of a computational kernel.
+
+A kernel is characterized by what it demands from the machine, not by its
+source code — the same abstraction the paper uses when it explains results
+("BT is vectorized, compute intensive and highly parallel"; "CG … uses
+indirect addressing"; "OVERFLOW depends on the bandwidth of the memory
+subsystem").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Resource signature of one kernel execution.
+
+    Parameters
+    ----------
+    flops:
+        Total double-precision floating-point operations.
+    memory_traffic:
+        Bytes moved to/from main memory (beyond-LLC traffic).
+    vector_fraction:
+        Fraction of flops inside unit-stride vectorizable loops.
+    gather_fraction:
+        Fraction of flops needing gather/scatter vector access (indirect
+        addressing, like CG's sparse BLAS).  The remainder
+        ``1 - vector - gather`` runs scalar.
+    parallel_fraction:
+        Amdahl fraction of *work* that parallelizes across threads.
+    streaming_fraction:
+        Fraction of memory traffic that is prefetchable unit-stride
+        streaming (priced at STREAM bandwidth).  The remainder is
+        dependent/irregular access priced at the per-core load bandwidth
+        of Fig 6 — which is ~15× lower per core on the Phi, the paper's
+        explanation for CG and OVERFLOW underperforming there.
+    footprint:
+        Resident bytes; checked against device memory (FT needs 10 GB —
+        more than a Phi card has).
+    sync_points:
+        Synchronization events (barriers/reductions) per execution; priced
+        by the OpenMP layer.
+    parallel_grains:
+        Number of independent work units the parallel loops expose
+        (e.g. outer-loop trip count).  When fewer grains than threads
+        exist, utilization is capped — the mechanism behind the MG
+        loop-collapse gain (Fig 24).  ``None`` means "ample".
+    thread_table:
+        Optional workload-specific threads-per-core throughput override
+        (Cart3D and BT peak at 4/core where most NPBs peak at 3/core).
+    """
+
+    name: str
+    flops: float
+    memory_traffic: float
+    vector_fraction: float = 1.0
+    gather_fraction: float = 0.0
+    parallel_fraction: float = 1.0
+    streaming_fraction: float = 1.0
+    memory_streams_per_thread: int = 1
+    footprint: float = 0.0
+    sync_points: int = 0
+    parallel_grains: Optional[int] = None
+    thread_table: Optional[Mapping[int, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.memory_traffic < 0 or self.footprint < 0:
+            raise ConfigError(f"{self.name}: resource amounts must be non-negative")
+        for frac_name in (
+            "vector_fraction",
+            "gather_fraction",
+            "parallel_fraction",
+            "streaming_fraction",
+        ):
+            v = getattr(self, frac_name)
+            if not (0.0 <= v <= 1.0):
+                raise ConfigError(f"{self.name}: {frac_name} must be in [0, 1]")
+        if self.vector_fraction + self.gather_fraction > 1.0 + 1e-12:
+            raise ConfigError(
+                f"{self.name}: vector_fraction + gather_fraction exceeds 1"
+            )
+        if self.sync_points < 0:
+            raise ConfigError(f"{self.name}: sync_points must be non-negative")
+        if self.memory_streams_per_thread < 1:
+            raise ConfigError(f"{self.name}: memory_streams_per_thread must be >= 1")
+        if self.parallel_grains is not None and self.parallel_grains < 1:
+            raise ConfigError(f"{self.name}: parallel_grains must be >= 1")
+
+    @property
+    def scalar_fraction(self) -> float:
+        return max(0.0, 1.0 - self.vector_fraction - self.gather_fraction)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of main-memory traffic (∞ for traffic-free kernels)."""
+        if self.memory_traffic == 0:
+            return float("inf")
+        return self.flops / self.memory_traffic
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "KernelSpec":
+        """A kernel doing ``factor`` times the work (same per-op profile)."""
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        return KernelSpec(
+            name=name or f"{self.name}*{factor:g}",
+            flops=self.flops * factor,
+            memory_traffic=self.memory_traffic * factor,
+            vector_fraction=self.vector_fraction,
+            gather_fraction=self.gather_fraction,
+            parallel_fraction=self.parallel_fraction,
+            streaming_fraction=self.streaming_fraction,
+            memory_streams_per_thread=self.memory_streams_per_thread,
+            footprint=self.footprint,
+            sync_points=self.sync_points,
+            parallel_grains=self.parallel_grains,
+            thread_table=self.thread_table,
+        )

@@ -1,0 +1,172 @@
+"""Roofline-style kernel pricing on a processor.
+
+``time = max(compute_time, memory_time) + serial_time + sync_time`` —
+the classic roofline with two paper-motivated extensions:
+
+* **Amdahl serial part** runs on one hardware thread; on the Phi a single
+  in-order thread reaches half the issue rate, so "applications with
+  significant serial regions will suffer dramatically" (Section 4.3).
+* **Grain-limited utilization**: if the parallel loops expose fewer
+  independent iterations than there are threads, only
+  ``grains / threads`` of the thread pool works at a time.  Collapsing
+  nested loops raises the grain count — the 25–28 % MG gain of Fig 24.
+
+Memory traffic is priced against the *aggregate* STREAM bandwidth at the
+given thread count (including the GDDR5 bank-thrash penalty), which is
+what makes OVERFLOW — a bandwidth-bound code — slower on the Phi than its
+1 Tflop/s peak would suggest (Section 6.9.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.execmodel.kernel import KernelSpec
+from repro.execmodel.vectorize import vector_efficiency
+from repro.machine.core import ThreadScaling
+from repro.machine.processor import Processor
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Where a kernel's simulated time goes."""
+
+    compute_time: float
+    memory_time: float
+    serial_time: float
+    sync_time: float
+
+    @property
+    def parallel_time(self) -> float:
+        """The overlapped compute/memory phase."""
+        return max(self.compute_time, self.memory_time)
+
+    @property
+    def total(self) -> float:
+        return self.parallel_time + self.serial_time + self.sync_time
+
+    @property
+    def bound(self) -> str:
+        """Which roof binds: ``"compute"`` or ``"memory"``."""
+        return "compute" if self.compute_time >= self.memory_time else "memory"
+
+
+def _effective_memory_bandwidth(
+    kernel: KernelSpec, proc: Processor, n_threads: int
+) -> float:
+    """Blend STREAM bandwidth (streamed traffic) with dependent-access
+    bandwidth (irregular traffic) harmonically.
+
+    Gather-heavy kernels pull whole cache lines per useful element, which
+    halves the dependent path's effective rate in the limit — CG's
+    indirect sparse BLAS is the paper's exhibit (Section 6.8.1).
+    """
+    s = kernel.streaming_fraction
+    stream = proc.stream_bandwidth(
+        n_threads, streams_per_thread=kernel.memory_streams_per_thread
+    )
+    if s >= 1.0:
+        bw = stream
+    else:
+        dep = proc.dependent_access_bandwidth(n_threads)
+        # Gather-heavy kernels pull whole cache lines per useful element;
+        # the cost scales with how far the core's gather hardware falls
+        # short of reference (host-grade, 0.35) capability — CG's sparse
+        # BLAS pays it fully on the Phi, barely at all on the host.
+        gse = proc.spec.core.gather_scatter_efficiency
+        deficiency = max(0.0, 1.0 - gse / 0.35)
+        dep *= 1.0 - 0.5 * kernel.gather_fraction * deficiency
+        bw = 1.0 / (s / stream + (1.0 - s) / dep)
+    # Spilling onto the OS-reserved core degrades the memory path too: OS
+    # services evict cache lines and stall that core's access streams
+    # (why 60/120/180/240 threads lose to 59/118/177/236, Sec 6.9.1.5).
+    _, _, uses_os_core = proc.thread_placement(n_threads)
+    if uses_os_core:
+        bw *= proc.spec.os_core_penalty
+    return bw
+
+
+def kernel_time(
+    kernel: KernelSpec,
+    proc: Processor,
+    n_threads: int,
+    sync_cost: float = 0.0,
+    check_memory: bool = True,
+) -> TimeBreakdown:
+    """Price one execution of ``kernel`` on ``proc`` with ``n_threads``.
+
+    Parameters
+    ----------
+    sync_cost:
+        Seconds per synchronization point (supplied by the OpenMP layer's
+        barrier model; defaults to free).
+    check_memory:
+        Raise :class:`~repro.errors.OutOfMemoryError` if the kernel
+        footprint exceeds the device memory (the paper's FT-on-Phi case).
+    """
+    if n_threads < 1:
+        raise ConfigError("n_threads must be >= 1")
+    if check_memory and kernel.footprint > proc.memory_capacity:
+        raise OutOfMemoryError(kernel.footprint, proc.memory_capacity, kernel.name)
+
+    veff = vector_efficiency(kernel, proc.spec.core)
+    # A workload thread table describes hardware-threading behaviour on
+    # the device it was measured for; apply it only when this processor
+    # has that many contexts (a Phi-tuned table must not override the
+    # host's HyperThreading profile).
+    scaling = None
+    if kernel.thread_table is not None and max(kernel.thread_table) == (
+        proc.spec.core.hw_threads
+    ):
+        scaling = ThreadScaling(proc.spec, kernel.thread_table)
+
+    # Grain-limited utilization.  Fewer independent iterations than
+    # threads leaves contexts idle; more iterations than threads still
+    # quantize (ceil(g/t) units on the busiest thread vs g/t ideal) — the
+    # effect the MG loop-collapse optimization removes (Fig 24): 512
+    # outer iterations over 236 threads run at 512/236 / ⌈512/236⌉ ≈ 72 %.
+    grain_util = 1.0
+    if kernel.parallel_grains is not None:
+        g = kernel.parallel_grains
+        if g < n_threads:
+            grain_util = g / n_threads
+        else:
+            import math
+
+            grain_util = (g / n_threads) / math.ceil(g / n_threads)
+
+    compute_rate = proc.compute_rate(n_threads, veff, scaling) * grain_util
+    parallel_flops = kernel.flops * kernel.parallel_fraction
+    compute_time = parallel_flops / compute_rate
+
+    memory_time = 0.0
+    if kernel.memory_traffic:
+        mem_bw = _effective_memory_bandwidth(kernel, proc, n_threads) * grain_util
+        memory_time = kernel.memory_traffic * kernel.parallel_fraction / mem_bw
+
+    serial_flops = kernel.flops * (1.0 - kernel.parallel_fraction)
+    serial_time = 0.0
+    if serial_flops:
+        single_rate = proc.compute_rate(1, veff, scaling)
+        serial_mem = kernel.memory_traffic * (1.0 - kernel.parallel_fraction)
+        serial_time = max(
+            serial_flops / single_rate,
+            serial_mem / _effective_memory_bandwidth(kernel, proc, 1),
+        )
+
+    sync_time = kernel.sync_points * sync_cost
+    return TimeBreakdown(compute_time, memory_time, serial_time, sync_time)
+
+
+def kernel_gflops(
+    kernel: KernelSpec,
+    proc: Processor,
+    n_threads: int,
+    sync_cost: float = 0.0,
+    check_memory: bool = True,
+) -> float:
+    """Achieved Gflop/s for one execution (the unit of Figs 19–21, 25)."""
+    t = kernel_time(kernel, proc, n_threads, sync_cost, check_memory)
+    return kernel.flops / t.total / 1e9

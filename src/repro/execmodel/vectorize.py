@@ -1,0 +1,40 @@
+"""Vectorization efficiency: how much of a core's peak a kernel can see.
+
+The model is a harmonic (time-weighted) combination of three execution
+profiles:
+
+* unit-stride vector work runs at the core's full SIMD rate;
+* gather/scatter vector work runs at ``gather_scatter_efficiency`` of it
+  (the Phi's hardware gather is poor: vectorizing CG's sparse BLAS gained
+  only ~10 % over scalar, Section 6.8.1);
+* scalar work runs at one SIMD lane's rate.
+
+The asymmetry the paper keeps returning to falls straight out: a wide
+(512-bit) machine loses *more* from imperfect vectorization than a
+narrower (256-bit) one, so "highly parallel and highly vectorized with
+unit stride" (Section 4.3) is a requirement on the Phi and merely a bonus
+on the host.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.execmodel.kernel import KernelSpec
+from repro.machine.spec import CoreSpec
+
+
+def vector_efficiency(kernel: KernelSpec, core: CoreSpec) -> float:
+    """Fraction of ``core``'s peak flop rate this kernel's profile achieves.
+
+    Harmonic weighting: each work fraction contributes its time at its own
+    rate, so ``eff = 1 / Σ(fraction / relative_rate)``.
+    """
+    v = kernel.vector_fraction
+    g = kernel.gather_fraction
+    s = kernel.scalar_fraction
+    scalar_rate = core.scalar_efficiency / core.simd_lanes_dp
+    gather_rate = core.gather_scatter_efficiency
+    denom = v / 1.0 + (g / gather_rate if g else 0.0) + (s / scalar_rate if s else 0.0)
+    if denom <= 0:
+        raise ConfigError(f"{kernel.name}: empty work profile")
+    return 1.0 / denom

@@ -1,0 +1,114 @@
+"""Filesystem bandwidth models.
+
+The node mounts an NFS filesystem on the host; the mount is re-exported
+to each Phi over the MPSS virtio network (TCP/IP over PCIe).  Sequential
+throughput from a device is therefore a chain:
+
+* host → NFS server directly;
+* Phi  → virtio stack → host → NFS server,
+
+with the achieved rate the harmonic combination of the stages plus a
+per-block syscall/stack overhead (much larger on the Phi's 1.05 GHz
+in-order core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import KiB, MB, US
+
+
+@dataclass(frozen=True)
+class StageRates:
+    """One pipeline stage's streaming rates and per-block cost."""
+
+    read_bw: float  # bytes/s
+    write_bw: float  # bytes/s
+    per_block: float  # seconds of fixed cost per I/O request
+
+    def __post_init__(self) -> None:
+        if self.read_bw <= 0 or self.write_bw <= 0 or self.per_block < 0:
+            raise ConfigError("invalid stage rates")
+
+
+class FilesystemView:
+    """The filesystem as seen from one device: a chain of stages."""
+
+    def __init__(self, name: str, stages: tuple):
+        if not stages:
+            raise ConfigError("at least one stage required")
+        self.name = name
+        self.stages = stages
+
+    def _chained_bw(self, op: str) -> float:
+        inv = 0.0
+        for s in self.stages:
+            inv += 1.0 / (s.read_bw if op == "read" else s.write_bw)
+        return 1.0 / inv
+
+    def _per_block(self) -> float:
+        return sum(s.per_block for s in self.stages)
+
+    def bandwidth(self, op: str, block_size: int = 1 << 20) -> float:
+        """Sequential bandwidth (bytes/s) at a given request size."""
+        if op not in ("read", "write"):
+            raise ConfigError(f"op must be 'read'/'write', got {op!r}")
+        if block_size <= 0:
+            raise ConfigError("block_size must be positive")
+        stream = self._chained_bw(op)
+        t_block = self._per_block() + block_size / stream
+        return block_size / t_block
+
+    def transfer_time(self, nbytes: int, op: str, block_size: int = 1 << 20) -> float:
+        """Seconds to sequentially read/write ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        import math
+
+        blocks = math.ceil(nbytes / block_size)
+        stream = self._chained_bw(op)
+        return blocks * self._per_block() + nbytes / stream
+
+
+class NfsModel:
+    """The node's NFS mount and its per-device views."""
+
+    def __init__(
+        self,
+        server: StageRates,
+        host_stack: StageRates,
+        virtio: StageRates,
+        phi_stack: StageRates,
+    ):
+        self.server = server
+        self.host_stack = host_stack
+        self.virtio = virtio
+        self.phi_stack = phi_stack
+
+    def host_view(self) -> FilesystemView:
+        return FilesystemView("host-nfs", (self.server, self.host_stack))
+
+    def phi_view(self, phi_index: int = 0) -> FilesystemView:
+        if phi_index not in (0, 1):
+            raise ConfigError("phi_index must be 0 or 1")
+        return FilesystemView(
+            f"phi{phi_index}-nfs", (self.server, self.virtio, self.phi_stack)
+        )
+
+
+def maia_nfs() -> NfsModel:
+    """Maia's NFS stack, calibrated to Fig 17.
+
+    Host achieves 295/210 MB/s (read/write); the Phi's virtio + slow-core
+    TCP/IP stack chains that down to ≈75/80 MB/s.
+    """
+    server = StageRates(read_bw=340 * MB, write_bw=235 * MB, per_block=30 * US)
+    host_stack = StageRates(read_bw=2230 * MB, write_bw=1975 * MB, per_block=15 * US)
+    # Virtio-over-PCIe TCP/IP: the bottleneck from the Phi side.
+    virtio = StageRates(read_bw=101 * MB, write_bw=129 * MB, per_block=120 * US)
+    phi_stack = StageRates(read_bw=2000 * MB, write_bw=2000 * MB, per_block=250 * US)
+    return NfsModel(server, host_stack, virtio, phi_stack)

@@ -1,0 +1,77 @@
+"""The Sequential Read Write benchmark (Section 3.5 / Figure 17).
+
+A single-process benchmark writing and reading a file at varying block
+sizes from the host, Phi0 and Phi1, plus the paper's recommended
+workaround for Phi-resident data: send it to the host over MPI/SCIF
+(6 GB/s for ≥4 MiB messages) and perform the file I/O there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+from repro.core.software import POST_UPDATE, SoftwareStack
+from repro.io.filesystem import FilesystemView, NfsModel, maia_nfs
+from repro.mpi.protocols import pcie_fabric
+from repro.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class SeqRWPoint:
+    device: str
+    op: str
+    block_size: int
+    bandwidth: float  # bytes/s
+
+
+class SeqRWBenchmark:
+    """Sweep sequential read/write bandwidth per device and block size."""
+
+    DEFAULT_BLOCKS = tuple(4 * KiB * (1 << i) for i in range(12))  # 4 KiB … 8 MiB
+
+    def __init__(self, nfs: NfsModel = None):
+        self.nfs = nfs or maia_nfs()
+        self._views: Dict[str, FilesystemView] = {
+            "host": self.nfs.host_view(),
+            "phi0": self.nfs.phi_view(0),
+            "phi1": self.nfs.phi_view(1),
+        }
+
+    def devices(self) -> List[str]:
+        return list(self._views)
+
+    def run(
+        self, block_sizes: Sequence[int] = DEFAULT_BLOCKS
+    ) -> List[SeqRWPoint]:
+        points = []
+        for device, view in self._views.items():
+            for op in ("write", "read"):
+                for bs in block_sizes:
+                    points.append(
+                        SeqRWPoint(device, op, bs, view.bandwidth(op, bs))
+                    )
+        return points
+
+    def plateau(self, device: str, op: str) -> float:
+        """Large-block sustained bandwidth (the Fig 17 bar value)."""
+        if device not in self._views:
+            raise ConfigError(f"unknown device {device!r}")
+        return self._views[device].bandwidth(op, 8 * MiB)
+
+
+def workaround_bandwidth(
+    software: SoftwareStack = POST_UPDATE,
+    message_size: int = 4 * MiB,
+    nfs: NfsModel = None,
+) -> float:
+    """Phi-data write rate via the host-staging workaround (Section 6.6).
+
+    Chain: Phi → host over MPI (SCIF path at ``message_size``) and the
+    host's NFS write; the slower stage dominates but both add.
+    """
+    nfs = nfs or maia_nfs()
+    mpi_bw = pcie_fabric("host-phi0", software).bandwidth(message_size)
+    nfs_bw = nfs.host_view().bandwidth("write", 1 * MiB)
+    return 1.0 / (1.0 / mpi_bw + 1.0 / nfs_bw)

@@ -1,0 +1,134 @@
+"""Core execution behaviour: hardware threading and OS-core effects.
+
+The paper's recurring findings that this module encodes:
+
+* A Phi core **cannot issue back-to-back instructions from one thread**
+  (Section 2.1), so a single hardware thread reaches at most half of a
+  core's issue slots; 2–4 threads are needed to fill the in-order
+  pipeline, with 3/core usually best for NPB and 4/core for Cart3D/BT
+  (Sections 6.8–6.9).
+* Host HyperThreading helps little and can hurt (MG lost 6 % with 32
+  threads — Section 6.9.1.6).
+* Using the Phi's 60th core, normally reserved for OS services, costs
+  real performance: 59/118/177/236 threads beat 60/120/180/240
+  (Section 6.9.1.5).
+
+All of this is captured by :class:`ThreadScaling`, a per-processor mapping
+``threads-per-core → relative core throughput``, plus an OS-core penalty.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.machine.spec import ProcessorSpec
+
+
+class ThreadScaling:
+    """Relative core throughput as a function of threads per core.
+
+    The table lives on the :class:`ProcessorSpec` (``thread_throughput``);
+    workloads may override it (a latency-bound code benefits more from
+    extra threads than a bandwidth-bound one).
+    """
+
+    def __init__(
+        self,
+        proc: ProcessorSpec,
+        table: Optional[Mapping[int, float]] = None,
+    ):
+        self.proc = proc
+        raw = dict(table if table is not None else proc.thread_throughput)
+        # Workload tables may describe more contexts than this processor
+        # has (a Phi-tuned table applied to the host); extra keys are
+        # simply unreachable and dropped.
+        self.table = {k: v for k, v in raw.items() if k <= proc.core.hw_threads}
+        if not self.table:
+            # Neutral fallback: one thread per core is fully efficient,
+            # extra contexts add nothing.
+            self.table = {k: 1.0 for k in range(1, proc.core.hw_threads + 1)}
+        for k in self.table:
+            if k < 1:
+                raise ConfigError(f"threads-per-core {k} out of range")
+
+    def throughput(self, threads_per_core: int) -> float:
+        """Relative core throughput (1.0 = core fully utilized)."""
+        if not (1 <= threads_per_core <= self.proc.core.hw_threads):
+            raise ConfigError(
+                f"{threads_per_core} threads/core unsupported on {self.proc.name} "
+                f"(max {self.proc.core.hw_threads})"
+            )
+        if threads_per_core in self.table:
+            return self.table[threads_per_core]
+        # Linear interpolation between nearest defined entries.
+        keys = sorted(self.table)
+        lo = max((k for k in keys if k < threads_per_core), default=keys[0])
+        hi = min((k for k in keys if k > threads_per_core), default=keys[-1])
+        if lo == hi:
+            return self.table[lo]
+        t = (threads_per_core - lo) / (hi - lo)
+        return self.table[lo] * (1 - t) + self.table[hi] * t
+
+    def best_threads_per_core(self) -> int:
+        """Threads/core with the highest relative throughput."""
+        return max(self.table, key=lambda k: (self.table[k], -k))
+
+
+def placement(
+    proc: ProcessorSpec, n_threads: int, use_all_cores: Optional[bool] = None
+) -> Tuple[int, int, bool]:
+    """Map a flat thread count onto ``(cores_used, threads_per_core, uses_os_core)``.
+
+    Mirrors the balanced placement of the paper's runs.  By default
+    (``use_all_cores=None``) the policy reproduces the paper's two
+    families of Phi thread counts:
+
+    * multiples of the *usable* core count (59, 118, 177, 236) stay off
+      the OS core — 59 cores × 1..4 threads;
+    * multiples of the *full* core count (60, 120, 180, 240) spread over
+      all cores including the OS core and pay its interference penalty
+      (Section 6.9.1.5);
+    * anything else, or anything exceeding the usable contexts, packs
+      onto usable cores first and spills only when it must.
+
+    Pass ``use_all_cores`` explicitly to force either policy.
+    """
+    if n_threads < 1:
+        raise ConfigError("n_threads must be >= 1")
+    if n_threads > proc.max_threads:
+        raise ConfigError(
+            f"{n_threads} threads exceed {proc.name}'s {proc.max_threads} contexts"
+        )
+    usable = proc.usable_cores
+    if use_all_cores is None:
+        use_all_cores = (
+            proc.os_reserved_cores > 0 and n_threads % proc.n_cores == 0
+        ) or n_threads > usable * proc.core.hw_threads
+    if use_all_cores:
+        cores = min(n_threads, proc.n_cores)
+    else:
+        cores = min(n_threads, usable)
+    uses_os_core = cores > usable
+    tpc = math.ceil(n_threads / cores)
+    return cores, tpc, uses_os_core
+
+
+def effective_compute_rate(
+    proc: ProcessorSpec,
+    n_threads: int,
+    scaling: Optional[ThreadScaling] = None,
+    vector_efficiency: float = 1.0,
+) -> float:
+    """Aggregate effective flop/s for ``n_threads`` on ``proc``.
+
+    Combines per-core peak, threads-per-core throughput, the OS-core
+    interference penalty, and a workload vector efficiency.
+    """
+    scaling = scaling or ThreadScaling(proc)
+    cores, tpc, uses_os_core = placement(proc, n_threads)
+    rate = cores * proc.core.peak_flops * scaling.throughput(tpc) * vector_efficiency
+    if uses_os_core:
+        rate *= proc.os_core_penalty
+    return rate

@@ -1,0 +1,119 @@
+"""Node topology: one host (two Sandy Bridge sockets) plus Phi0 and Phi1.
+
+The node exposes the *paths* between its three devices, because almost
+every experiment in the paper is a statement about a path: host→Phi0 and
+host→Phi1 ride different PCIe buses (and differ by ~3 % in offload
+bandwidth, ~1 µs in MPI latency), and Phi0→Phi1 is a PCIe peer-to-peer
+route that is slower than either host link (Figs 7–8, 18).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.machine.pcie import PcieLink
+from repro.machine.spec import NodeSpec, ProcessorSpec
+
+
+class Device(str, enum.Enum):
+    """Addressable execution devices within one node."""
+
+    HOST = "host"
+    PHI0 = "phi0"
+    PHI1 = "phi1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _norm_pair(a: Device, b: Device) -> Tuple[Device, Device]:
+    order = {Device.HOST: 0, Device.PHI0: 1, Device.PHI1: 2}
+    return (a, b) if order[a] <= order[b] else (b, a)
+
+
+class MaiaNode:
+    """One node: spec + inter-device PCIe links.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`NodeSpec` (host processor × sockets, coprocessors,
+        memory).
+    links:
+        Mapping from unordered device pairs to :class:`PcieLink`.
+        Must cover (host, phi0), (host, phi1) and (phi0, phi1).
+    """
+
+    def __init__(self, spec: NodeSpec, links: Dict[Tuple[Device, Device], PcieLink]):
+        self.spec = spec
+        self._links: Dict[Tuple[Device, Device], PcieLink] = {}
+        for (a, b), link in links.items():
+            self._links[_norm_pair(Device(a), Device(b))] = link
+        required = [
+            (Device.HOST, Device.PHI0),
+            (Device.HOST, Device.PHI1),
+            (Device.PHI0, Device.PHI1),
+        ]
+        missing = [p for p in required if p not in self._links]
+        if missing:
+            raise ConfigError(f"missing PCIe links for {missing}")
+        if len(spec.coprocessors) != 2:
+            raise ConfigError("MaiaNode expects exactly two coprocessors")
+
+    # ------------------------------------------------------------- devices
+
+    @property
+    def devices(self) -> Tuple[Device, ...]:
+        return (Device.HOST, Device.PHI0, Device.PHI1)
+
+    def processor(self, dev: Device) -> ProcessorSpec:
+        """The processor spec running on ``dev`` (one socket for the host)."""
+        dev = Device(dev)
+        if dev is Device.HOST:
+            return self.spec.host
+        return self.spec.coprocessors[0 if dev is Device.PHI0 else 1]
+
+    def sockets(self, dev: Device) -> int:
+        return self.spec.host_sockets if Device(dev) is Device.HOST else 1
+
+    def cores(self, dev: Device) -> int:
+        return self.processor(dev).n_cores * self.sockets(dev)
+
+    def max_threads(self, dev: Device) -> int:
+        p = self.processor(dev)
+        return p.max_threads * self.sockets(dev)
+
+    def memory_capacity(self, dev: Device) -> int:
+        """Bytes of directly attached memory visible to ``dev``."""
+        dev = Device(dev)
+        if dev is Device.HOST:
+            return self.spec.host_memory
+        return self.processor(dev).memory.capacity
+
+    def peak_flops(self, dev: Device) -> float:
+        return self.processor(dev).peak_flops * self.sockets(dev)
+
+    # --------------------------------------------------------------- paths
+
+    def link(self, a: Device, b: Device) -> PcieLink:
+        """The PCIe link between two distinct devices."""
+        a, b = Device(a), Device(b)
+        if a == b:
+            raise ConfigError(f"no PCIe link from {a} to itself")
+        return self._links[_norm_pair(a, b)]
+
+    def total_memory(self) -> int:
+        return self.spec.host_memory + sum(
+            c.memory.capacity for c in self.spec.coprocessors
+        )
+
+    def total_peak_flops(self) -> float:
+        return self.spec.total_peak_flops
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MaiaNode {self.spec.name}: host {self.cores(Device.HOST)}c, "
+            f"2x {self.spec.coprocessors[0].name}>"
+        )

@@ -1,0 +1,184 @@
+"""Processor facade: one object tying a spec to its behavioural models.
+
+:class:`Processor` is what benchmark and evaluator code holds: it wires a
+:class:`~repro.machine.spec.ProcessorSpec` (possibly several sockets of
+it) to the cache-walk model, the main-memory model and the hardware-thread
+scaling model, and answers the performance questions the paper's
+microbenchmarks ask.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.machine.cache import CacheWalkModel
+from repro.machine.core import ThreadScaling, effective_compute_rate, placement
+from repro.machine.memory import DramModel, Gddr5Model, NumaDramModel
+from repro.machine.spec import ProcessorSpec
+
+
+class Processor:
+    """A running processor complex (``sockets`` × ``spec``).
+
+    Parameters
+    ----------
+    spec:
+        Per-socket hardware description.
+    sockets:
+        Number of identical sockets sharing one coherent memory space
+        (2 for the Maia host, 1 for a Phi card).
+    """
+
+    def __init__(self, spec: ProcessorSpec, sockets: int = 1):
+        if sockets < 1:
+            raise ConfigError("sockets must be >= 1")
+        self.spec = spec
+        self.sockets = sockets
+        self.cache_walk = CacheWalkModel(spec, exclusive=True)
+        self.thread_scaling = ThreadScaling(spec)
+        # One core's fair share of the socket's sustained STREAM rate.
+        per_thread = spec.memory.sustained_bandwidth / spec.usable_cores
+        socket_model_cls = Gddr5Model if spec.memory.n_banks else DramModel
+        self._socket_memory = socket_model_cls(spec.memory, per_thread)
+        self._memory = (
+            NumaDramModel(self._socket_memory, sockets)
+            if sockets > 1
+            else self._socket_memory
+        )
+
+    # ----------------------------------------------------------- identity
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_cores(self) -> int:
+        return self.spec.n_cores * self.sockets
+
+    @property
+    def usable_cores(self) -> int:
+        return self.spec.usable_cores * self.sockets
+
+    @property
+    def max_threads(self) -> int:
+        return self.spec.max_threads * self.sockets
+
+    @property
+    def peak_flops(self) -> float:
+        return self.spec.peak_flops * self.sockets
+
+    @property
+    def memory_capacity(self) -> int:
+        return self.spec.memory.capacity * self.sockets
+
+    # -------------------------------------------------------- memory side
+
+    def stream_bandwidth(self, n_threads: int, streams_per_thread: int = 1) -> float:
+        """Aggregate STREAM-style bandwidth (bytes/s) at ``n_threads``.
+
+        ``streams_per_thread`` models application kernels that sweep
+        several arrays concurrently; GDDR5's open-bank limit triggers on
+        the total stream count, not the thread count.
+        """
+        if n_threads < 1:
+            raise ConfigError("n_threads must be >= 1")
+        if n_threads > self.max_threads:
+            raise ConfigError(
+                f"{n_threads} threads exceed {self.name}'s {self.max_threads}"
+            )
+        if streams_per_thread < 1:
+            raise ConfigError("streams_per_thread must be >= 1")
+        bw = self._memory.stream_bandwidth(
+            n_threads, n_streams=n_threads * streams_per_thread
+        )
+        # HyperThreading on an out-of-order host doubles the working sets
+        # per core, costing conflict misses (the −6 % MG saw with 32
+        # threads, Section 6.9.1.6).  The Phi's threading is exempt: its
+        # in-order cores *need* the extra contexts.
+        _, tpc, _ = self.thread_placement(n_threads)
+        if tpc > 1 and not self.spec.core.in_order:
+            bw *= 0.94
+        return bw
+
+    @property
+    def sustained_memory_bandwidth(self) -> float:
+        return self.spec.memory.sustained_bandwidth * self.sockets
+
+    #: Miss-latency hiding from extra hardware threads on one core for
+    #: dependent access: rises to 3 contexts, then L1/TLB thrashing bites —
+    #: the microarchitectural reason "3 threads per core is generally the
+    #: best value" for NPB on the Phi (Section 6.8.1).
+    DEP_HIDING = {1: 1.0, 2: 1.35, 3: 1.6, 4: 1.55}
+
+    def dependent_access_bandwidth(self, n_threads: int) -> float:
+        """Aggregate bandwidth for dependent/irregular (non-prefetchable)
+        memory access: the Fig 6 per-core load rate × active cores, with
+        extra hardware threads hiding part of each miss.
+
+        On the host this saturates at STREAM anyway (out-of-order cores
+        prefetch well); on the Phi it is the binding constraint for codes
+        like CG — 59 cores × 504 MB/s ≈ 30 GB/s at one thread per core.
+        """
+        if n_threads < 1:
+            raise ConfigError("n_threads must be >= 1")
+        from repro.machine.core import placement
+
+        per_core = self.spec.memory.read_bw_per_core
+        base, extra = divmod(n_threads, self.sockets)
+        total = 0.0
+        for s in range(self.sockets):
+            share = base + (1 if s < extra else 0)
+            if share:
+                cores, tpc, _ = placement(self.spec, share)
+                hide = self.DEP_HIDING.get(min(tpc, 4), 1.0)
+                total += cores * per_core * hide
+        return min(total, self.stream_bandwidth(n_threads))
+
+    def load_latency(self, working_set: float) -> float:
+        """Single-core pointer-chase latency over ``working_set`` bytes (Fig 5)."""
+        return self.cache_walk.latency(working_set)
+
+    def load_bandwidth(self, working_set: float, access: str = "read") -> float:
+        """Single-core streaming bandwidth over ``working_set`` bytes (Fig 6)."""
+        return self.cache_walk.bandwidth(working_set, access)
+
+    # ------------------------------------------------------- compute side
+
+    def compute_rate(
+        self,
+        n_threads: int,
+        vector_efficiency: float = 1.0,
+        scaling: Optional[ThreadScaling] = None,
+    ) -> float:
+        """Aggregate effective flop/s (one socket's spec scaled by usage).
+
+        Threads are placed round-robin over all sockets' cores; the
+        per-socket placement model from :mod:`repro.machine.core` handles
+        threads-per-core throughput and OS-core penalties.
+        """
+        if n_threads < 1:
+            raise ConfigError("n_threads must be >= 1")
+        if n_threads > self.max_threads:
+            raise ConfigError(
+                f"{n_threads} threads exceed {self.name}'s {self.max_threads}"
+            )
+        base, extra = divmod(n_threads, self.sockets)
+        total = 0.0
+        for s in range(self.sockets):
+            share = base + (1 if s < extra else 0)
+            if share:
+                total += effective_compute_rate(
+                    self.spec, share, scaling or self.thread_scaling, vector_efficiency
+                )
+        return total
+
+    def thread_placement(self, n_threads: int):
+        """(cores_used, threads_per_core, uses_os_core) for a single socket's
+        share of ``n_threads``."""
+        share = -(-n_threads // self.sockets)  # ceil division
+        return placement(self.spec, share)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Processor {self.sockets}x {self.name}>"

@@ -1,0 +1,106 @@
+"""The full Maia cluster: 128 nodes on a 4x FDR InfiniBand hypercube.
+
+Mostly an aggregation layer — the paper's experiments are single-node —
+but it reproduces Table 1's system-level rows (total cores, peak Tflop/s,
+memory split) and provides hypercube hop counts for the IB fabric.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.machine.interconnect import InfiniBandSpec
+from repro.machine.node import Device, MaiaNode
+from repro.machine.spec import SystemSpec
+
+
+class MaiaSystem:
+    """Cluster-level aggregate of :class:`MaiaNode`."""
+
+    def __init__(self, spec: SystemSpec, node: MaiaNode, ib: InfiniBandSpec):
+        if spec.n_nodes < 1:
+            raise ConfigError("n_nodes must be >= 1")
+        self.spec = spec
+        self.node = node
+        self.ib = ib
+
+    @property
+    def n_nodes(self) -> int:
+        return self.spec.n_nodes
+
+    @property
+    def total_host_cores(self) -> int:
+        return self.n_nodes * self.node.cores(Device.HOST)
+
+    @property
+    def total_phi_cores(self) -> int:
+        return self.n_nodes * sum(
+            c.n_cores for c in self.node.spec.coprocessors
+        )
+
+    @property
+    def host_peak_flops(self) -> float:
+        return self.n_nodes * self.node.peak_flops(Device.HOST)
+
+    @property
+    def phi_peak_flops(self) -> float:
+        return self.n_nodes * (
+            self.node.peak_flops(Device.PHI0) + self.node.peak_flops(Device.PHI1)
+        )
+
+    @property
+    def total_peak_flops(self) -> float:
+        return self.host_peak_flops + self.phi_peak_flops
+
+    @property
+    def host_memory_total(self) -> int:
+        return self.n_nodes * self.node.spec.host_memory
+
+    @property
+    def phi_memory_total(self) -> int:
+        return self.n_nodes * sum(
+            c.memory.capacity for c in self.node.spec.coprocessors
+        )
+
+    @property
+    def total_memory(self) -> int:
+        return self.host_memory_total + self.phi_memory_total
+
+    def flops_fraction(self, what: str) -> float:
+        """Fraction of peak flops contributed by ``"host"`` or ``"phi"``
+        (Table 1 reports 14 % / 86 %)."""
+        if what == "host":
+            return self.host_peak_flops / self.total_peak_flops
+        if what == "phi":
+            return self.phi_peak_flops / self.total_peak_flops
+        raise ConfigError(f"unknown component {what!r}")
+
+    # ------------------------------------------------------------- fabric
+
+    def hypercube_dimension(self) -> int:
+        """Dimension of the IB hypercube (128 nodes → 7)."""
+        return max(1, math.ceil(math.log2(self.n_nodes)))
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        """Hypercube hop count = Hamming distance of node ids."""
+        for n in (node_a, node_b):
+            if not (0 <= n < self.n_nodes):
+                raise ConfigError(f"node id {n} out of range")
+        return bin(node_a ^ node_b).count("1")
+
+    def summary(self) -> Dict[str, float]:
+        """Table 1's system section as a dict (used by the Table 1 bench)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "total_host_cores": self.total_host_cores,
+            "total_phi_cores": self.total_phi_cores,
+            "host_peak_tflops": self.host_peak_flops / 1e12,
+            "phi_peak_tflops": self.phi_peak_flops / 1e12,
+            "total_peak_tflops": self.total_peak_flops / 1e12,
+            "host_flops_pct": 100 * self.flops_fraction("host"),
+            "phi_flops_pct": 100 * self.flops_fraction("phi"),
+            "host_memory_tib": self.host_memory_total / 2**40,
+            "phi_memory_tib": self.phi_memory_total / 2**40,
+        }

@@ -1,0 +1,20 @@
+"""Sequential I/O benchmark data (Section 6.6, Figure 17)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.io.seqrw import SeqRWBenchmark, workaround_bandwidth
+
+
+def fig17_data() -> Dict[str, Dict[str, float]]:
+    """Plateau read/write bandwidth per device + the staging workaround."""
+    bench = SeqRWBenchmark()
+    data: Dict[str, Dict[str, float]] = {}
+    for dev in bench.devices():
+        data[dev] = {
+            "write": bench.plateau(dev, "write"),
+            "read": bench.plateau(dev, "read"),
+        }
+    data["phi0-via-host"] = {"write": workaround_bandwidth(), "read": float("nan")}
+    return data

@@ -1,0 +1,35 @@
+"""Per-core read/write load bandwidth vs working set (Section 6.2.2 / Fig 6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.machine.presets import sandy_bridge_processor, xeon_phi_5110p
+from repro.machine.processor import Processor
+from repro.microbench.memlatency import default_working_sets
+
+
+def bandwidth_sweep(
+    proc: Processor, working_sets: Sequence[int], access: str
+) -> List[Tuple[int, float]]:
+    """(working_set, bytes/s) pairs for one access kind."""
+    return [(ws, proc.load_bandwidth(ws, access)) for ws in working_sets]
+
+
+def fig6_data(
+    working_sets: Sequence[int] = None,
+) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """The Figure 6 series: {device: {access: [(ws, bw)]}}."""
+    ws = list(working_sets) if working_sets else default_working_sets()
+    host = Processor(sandy_bridge_processor())
+    phi = Processor(xeon_phi_5110p())
+    return {
+        "host": {
+            "read": bandwidth_sweep(host, ws, "read"),
+            "write": bandwidth_sweep(host, ws, "write"),
+        },
+        "phi": {
+            "read": bandwidth_sweep(phi, ws, "read"),
+            "write": bandwidth_sweep(phi, ws, "write"),
+        },
+    }

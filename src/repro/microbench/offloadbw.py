@@ -1,0 +1,29 @@
+"""Offload-mode PCIe bandwidth sweep (Section 6.7, Figure 18)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.machine.node import Device
+from repro.machine.presets import maia_node
+from repro.units import KiB, MiB
+
+
+def default_data_sizes(start: int = 1 * KiB, stop: int = 256 * MiB) -> List[int]:
+    sizes = []
+    s = start
+    while s <= stop:
+        sizes.append(s)
+        s *= 2
+    return sizes
+
+
+def fig18_data(sizes: Sequence[int] = None) -> Dict[str, List[Tuple[int, float]]]:
+    """Offload DMA bandwidth vs transfer size for both Phi cards."""
+    sizes = list(sizes) if sizes else default_data_sizes()
+    node = maia_node()
+    out = {}
+    for name, dev in (("host-phi0", Device.PHI0), ("host-phi1", Device.PHI1)):
+        link = node.link(Device.HOST, dev)
+        out[name] = [(n, link.bandwidth(n)) for n in sizes]
+    return out

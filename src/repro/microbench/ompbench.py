@@ -1,0 +1,68 @@
+"""EPCC-style OpenMP microbenchmarks (Section 6.5, Figures 15–16).
+
+Analytic tables from the construct/scheduling models, plus a
+discrete-event cross-check: :func:`simulated_barrier_overhead` measures
+the barrier on the simulated Team with the EPCC subtraction method, so
+the figure numbers and the executable runtime cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.machine.presets import maia_host_processor, xeon_phi_5110p
+from repro.machine.spec import ProcessorSpec
+from repro.openmp.constructs import CONSTRUCTS, overhead_table
+from repro.openmp.runtime import Team
+from repro.openmp.scheduling import SCHEDULES, scheduling_overhead
+
+HOST_THREADS = 16
+PHI_THREADS = 236
+
+
+def fig15_data() -> Dict[str, Dict[str, float]]:
+    """Synchronization overheads: {device: {construct: seconds}}."""
+    return {
+        "host": overhead_table(maia_host_processor(), HOST_THREADS),
+        "phi": overhead_table(xeon_phi_5110p(), PHI_THREADS),
+    }
+
+
+def fig16_data(n_iters: int = 1024, chunk: int = 1) -> Dict[str, Dict[str, float]]:
+    """Scheduling overheads: {device: {policy: seconds}}."""
+    host = maia_host_processor()
+    phi = xeon_phi_5110p()
+    return {
+        "host": {
+            s: scheduling_overhead(s, host, HOST_THREADS, n_iters, chunk)
+            for s in SCHEDULES
+        },
+        "phi": {
+            s: scheduling_overhead(s, phi, PHI_THREADS, n_iters, chunk)
+            for s in SCHEDULES
+        },
+    }
+
+
+def simulated_barrier_overhead(
+    proc: ProcessorSpec, n_threads: int, work: float = 1e-4
+) -> float:
+    """Measure barrier overhead on the simulated Team, EPCC style.
+
+    Every thread does ``work`` seconds then hits a barrier; overhead is
+    the elapsed time minus the ideal (work + fork) baseline.
+    """
+    team = Team(proc, n_threads)
+
+    def body(tid):
+        yield from team.work(tid, work)
+        yield from team.barrier(tid)
+
+    elapsed = team.run_region(body)
+    baseline_team = Team(proc, n_threads)
+
+    def baseline(tid):
+        yield from baseline_team.work(tid, work)
+
+    base = baseline_team.run_region(baseline)
+    return elapsed - base

@@ -1,0 +1,76 @@
+"""MPI latency & bandwidth between node devices (Section 6.3, Figs 7–9).
+
+Sweeps the three PCIe paths (host–Phi0, host–Phi1, Phi0–Phi1) under both
+software stacks.  Figure 9 is the post/pre bandwidth gain ratio, whose
+step changes fall exactly at the DAPL thresholds of Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.software import POST_UPDATE, PRE_UPDATE, SoftwareStack
+from repro.mpi.protocols import PciePathFabric, pcie_fabric
+from repro.units import KiB, MiB
+
+PATHS = ("host-phi0", "host-phi1", "phi0-phi1")
+STACKS: Dict[str, SoftwareStack] = {"pre": PRE_UPDATE, "post": POST_UPDATE}
+
+
+def default_message_sizes(start: int = 1, stop: int = 4 * MiB) -> List[int]:
+    sizes = []
+    s = start
+    while s <= stop:
+        sizes.append(s)
+        s *= 2
+    return sizes
+
+
+def fig7_data() -> Dict[str, Dict[str, float]]:
+    """Small-message MPI latency per (stack, path) — Figure 7."""
+    return {
+        sw: {path: pcie_fabric(path, stack).latency() for path in PATHS}
+        for sw, stack in STACKS.items()
+    }
+
+
+def fig8_data(
+    sizes: Sequence[int] = None,
+) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """Bandwidth vs message size per (stack, path) — Figure 8."""
+    sizes = list(sizes) if sizes else default_message_sizes()
+    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for sw, stack in STACKS.items():
+        out[sw] = {}
+        for path in PATHS:
+            fabric = pcie_fabric(path, stack)
+            out[sw][path] = [(n, fabric.bandwidth(n)) for n in sizes]
+    return out
+
+
+def fig9_data(sizes: Sequence[int] = None) -> Dict[str, List[Tuple[int, float]]]:
+    """Post/pre bandwidth gain per path — Figure 9."""
+    sizes = list(sizes) if sizes else default_message_sizes()
+    gains: Dict[str, List[Tuple[int, float]]] = {}
+    for path in PATHS:
+        pre = pcie_fabric(path, PRE_UPDATE)
+        post = pcie_fabric(path, POST_UPDATE)
+        gains[path] = [(n, post.bandwidth(n) / pre.bandwidth(n)) for n in sizes]
+    return gains
+
+
+def gain_in_regime(path: str, regime: str) -> Tuple[float, float]:
+    """(min, max) post/pre gain within a message-size regime.
+
+    Regimes: ``"small_medium"`` (≤256 KiB) and ``"large"`` (>256 KiB),
+    matching how the paper quotes Figure 9.
+    """
+    sizes = default_message_sizes()
+    if regime == "small_medium":
+        sizes = [n for n in sizes if n <= 256 * KiB]
+    elif regime == "large":
+        sizes = [n for n in sizes if n > 256 * KiB]
+    else:
+        raise ValueError(f"unknown regime {regime!r}")
+    gains = [g for _, g in fig9_data(sizes)[path]]
+    return min(gains), max(gains)

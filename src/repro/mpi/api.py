@@ -1,0 +1,250 @@
+"""The simulated MPI communicator (mpi4py-flavoured API).
+
+Each rank is a discrete-event process holding a :class:`Communicator`.
+Methods are generators — rank code drives them with ``yield from``, the
+idiom the engine uses for zero-cost composition::
+
+    def main(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=1024, payload={"a": 7})
+        elif comm.rank == 1:
+            msg = yield from comm.recv(source=0)
+
+Timing follows the fabric's protocol model: eager sends detach after the
+local copy; rendezvous sends block until the receiver arrives (the same
+eager/rendezvous split that Section 5's DAPL thresholds control).  The
+simulator also moves real payloads, so collective algorithms are verified
+for *correctness*, not just priced for time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import ConfigError
+from repro.mpi.messages import ANY_SOURCE, ANY_TAG, Envelope, match_filter
+from repro.simcore import Engine, Get, Process, Put, Store, Timeout, WaitEvent
+
+FabricResolver = Callable[[int, int], Any]
+
+
+class Request:
+    """Handle for a non-blocking operation (wraps the worker process)."""
+
+    def __init__(self, proc: Process):
+        self._proc = proc
+
+    def wait(self) -> Generator:
+        """Block until the operation completes; returns its result."""
+        result = yield WaitEvent(self._proc.done)
+        return result
+
+    @property
+    def complete(self) -> bool:
+        return self._proc.finished
+
+
+class Communicator:
+    """One rank's view of the simulated communicator.
+
+    Parameters
+    ----------
+    engine, rank, size:
+        The event engine and this rank's identity.
+    mailboxes:
+        One :class:`~repro.simcore.resources.Store` per rank.
+    fabric_for:
+        ``(src, dst) → fabric`` resolver; a single-device job uses a
+        constant fabric, symmetric mode routes by device pair.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rank: int,
+        size: int,
+        mailboxes: list,
+        fabric_for: FabricResolver,
+    ):
+        if not (0 <= rank < size):
+            raise ConfigError(f"rank {rank} out of range for size {size}")
+        self.engine = engine
+        self.rank = rank
+        self.size = size
+        self._mailboxes = mailboxes
+        self._fabric_for = fabric_for
+
+    # ------------------------------------------------------------ plumbing
+
+    def _check_peer(self, peer: int) -> None:
+        if not (0 <= peer < self.size):
+            raise ConfigError(f"peer rank {peer} out of range (size {self.size})")
+
+    def fabric(self, peer: int) -> Any:
+        return self._fabric_for(self.rank, peer)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # ------------------------------------------------------- point-to-point
+
+    def send(
+        self,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        payload: Any = None,
+        pattern: str = "neighbor",
+    ) -> Generator:
+        """Blocking send (eager detaches after local copy; rendezvous
+        blocks until the receiver matches)."""
+        self._check_peer(dest)
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        fabric = self.fabric(dest)
+        env = Envelope(
+            source=self.rank,
+            dest=dest,
+            tag=tag,
+            nbytes=nbytes,
+            post_time=self.engine.now,
+            payload=payload,
+            pattern=pattern,
+        )
+        yield Put(self._mailboxes[dest], env)
+        if nbytes <= fabric.eager_max:
+            yield Timeout(fabric.sender_time(nbytes))
+        else:
+            yield WaitEvent(env.done)
+
+    def recv(
+        self,
+        source: Optional[int] = ANY_SOURCE,
+        tag: Optional[int] = ANY_TAG,
+    ) -> Generator:
+        """Blocking receive; returns the matched :class:`Envelope`."""
+        if source is not None:
+            self._check_peer(source)
+        env: Envelope = yield Get(
+            self._mailboxes[self.rank], filter=match_filter(source, tag)
+        )
+        fabric = self.fabric(env.source)
+        pattern = getattr(env, "pattern", "neighbor")
+        transfer = fabric.p2p_time(env.nbytes, pattern=pattern, n_senders=self.size)
+        if env.nbytes <= fabric.eager_max:
+            # Eager data is on the wire as soon as it is posted.
+            completion = max(self.engine.now, env.post_time + transfer)
+        else:
+            # Rendezvous transfer starts once both sides are present.
+            completion = max(self.engine.now, env.post_time) + transfer
+        delay = completion - self.engine.now
+        if delay > 0:
+            yield Timeout(delay)
+        env.done.succeed(completion)
+        return env
+
+    def isend(
+        self, dest: int, nbytes: int, tag: int = 0, payload: Any = None
+    ) -> Request:
+        """Non-blocking send; returns a :class:`Request`."""
+        proc = self.engine.spawn(
+            self.send(dest, nbytes, tag, payload), name=f"isend[{self.rank}->{dest}]"
+        )
+        return Request(proc)
+
+    def irecv(
+        self, source: Optional[int] = ANY_SOURCE, tag: Optional[int] = ANY_TAG
+    ) -> Request:
+        """Non-blocking receive; ``wait()`` returns the :class:`Envelope`."""
+        proc = self.engine.spawn(
+            self.recv(source, tag), name=f"irecv[{self.rank}<-{source}]"
+        )
+        return Request(proc)
+
+    def sendrecv(
+        self,
+        dest: int,
+        source: int,
+        nbytes: int,
+        tag: int = 0,
+        payload: Any = None,
+    ) -> Generator:
+        """Concurrent send+recv (the Fig 10 ring-exchange primitive)."""
+        req = self.isend(dest, nbytes, tag, payload)
+        env = yield from self.recv(source, tag)
+        yield from req.wait()
+        return env
+
+    # ----------------------------------------------------------- utilities
+
+    def compute(self, seconds: float) -> Generator:
+        """Local computation for ``seconds`` of simulated time."""
+        if seconds < 0:
+            raise ConfigError("compute time must be non-negative")
+        yield Timeout(seconds)
+
+    def barrier(self) -> Generator:
+        """Dissemination barrier: ⌈log2 p⌉ rounds of zero-byte exchanges."""
+        p = self.size
+        if p == 1:
+            return
+        k = 1
+        round_no = 0
+        while k < p:
+            dest = (self.rank + k) % p
+            src = (self.rank - k) % p
+            tag = -1000 - round_no  # keep barrier traffic off user tags
+            yield from self.sendrecv(dest, src, nbytes=0, tag=tag)
+            k *= 2
+            round_no += 1
+
+    # --------------------------------------------------------- collectives
+    # Implemented in repro.mpi.collectives as algorithms over this p2p
+    # layer; bound here for ergonomic access (imported lazily to avoid a
+    # cycle at import time).
+
+    def bcast(self, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.bcast(self, value, root, nbytes)
+        return result
+
+    def reduce(self, value: Any, op=None, root: int = 0, nbytes: int = 8) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.reduce(self, value, op, root, nbytes)
+        return result
+
+    def allreduce(self, value: Any, op=None, nbytes: int = 8) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.allreduce(self, value, op, nbytes)
+        return result
+
+    def allgather(self, value: Any, nbytes: int = 8) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.allgather(self, value, nbytes)
+        return result
+
+    def alltoall(self, values, nbytes: int = 8) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.alltoall(self, values, nbytes)
+        return result
+
+    def gather(self, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.gather(self, value, root, nbytes)
+        return result
+
+    def scatter(self, values, root: int = 0, nbytes: int = 8) -> Generator:
+        from repro.mpi import collectives
+
+        result = yield from collectives.scatter(self, values, root, nbytes)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Communicator rank {self.rank}/{self.size}>"

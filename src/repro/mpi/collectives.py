@@ -1,0 +1,446 @@
+"""MPI collective operations: executable algorithms + closed-form costs.
+
+Two coupled halves:
+
+1. **Algorithms** — generator functions over the simulated
+   :class:`~repro.mpi.api.Communicator`, implementing the textbook
+   algorithms Intel MPI uses at these scales: binomial broadcast/reduce,
+   recursive-doubling allreduce/allgather, ring allgather for large
+   blocks, pairwise-exchange alltoall.  They move real payloads, so the
+   test suite verifies collective *semantics* against NumPy references.
+
+2. **Cost models** — closed-form times for the same algorithms on a
+   fabric's α–β parameters.  The figure sweeps (Figs 10–14) use these
+   (running 236 simulated ranks per sample would be wasteful), and the
+   test suite checks them against the simulated algorithms at small rank
+   counts so the two halves cannot drift apart.
+
+The allgather algorithm switch (recursive doubling → ring) at a 2 KiB
+block is the paper's "sudden jump in time at 2 KB and 4 KB message size
+… due to a change in [algorithm] used in MPI_Allgather" (Section 6.4.4).
+The alltoall memory model reproduces its out-of-memory failure beyond
+4 KiB at 236 ranks (Section 6.4.5).
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.mpi.api import Communicator
+from repro.units import GiB, KiB
+
+#: Block size at which allgather switches from recursive doubling to ring.
+ALLGATHER_RING_SWITCH = 2 * KiB
+
+#: Message size at which bcast/allreduce switch to the bandwidth-optimal
+#: (scatter + allgather / Rabenseifner) algorithms.
+LARGE_MESSAGE_SWITCH = 32 * KiB
+
+# Intel-MPI-like internal memory footprint per connected rank pair:
+# a fixed connection context plus staging buffers proportional to the
+# message size, capped at a pipeline chunk.
+CONN_BASE = 64 * KiB
+STAGING_MULT = 16
+STAGING_CAP = 64 * KiB
+
+_TAG_COLL = -2000  # tag space reserved for collective traffic
+
+
+def _default_op(op: Optional[Callable]) -> Callable:
+    return operator.add if op is None else op
+
+
+def _log2_rounds(p: int) -> int:
+    return max(1, math.ceil(math.log2(p))) if p > 1 else 0
+
+
+# ==========================================================================
+# Executable algorithms
+# ==========================================================================
+
+
+def bcast(comm: Communicator, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
+    """Broadcast; every rank returns the root's value.
+
+    Binomial tree for small messages; scatter + ring-allgather (van de
+    Geijn) for large ones, which halves the bandwidth term.
+    """
+    p = comm.size
+    if p == 1:
+        return value
+    if nbytes > LARGE_MESSAGE_SWITCH:
+        return (yield from _bcast_scatter_allgather(comm, value, root, nbytes))
+    vrank = (comm.rank - root) % p
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            src = (vrank - mask + root) % p
+            env = yield from comm.recv(source=src, tag=_TAG_COLL)
+            value = env.payload
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < p:
+            dest = (vrank + mask + root) % p
+            yield from comm.send(dest, nbytes, tag=_TAG_COLL, payload=value)
+        mask >>= 1
+    return value
+
+
+def _bcast_scatter_allgather(
+    comm: Communicator, value: Any, root: int, nbytes: int
+) -> Generator:
+    """Large-message broadcast: scatter 1/p-size chunks down a binomial
+    tree, then ring-allgather them back together."""
+    p = comm.size
+    chunk = max(1, nbytes // p)
+    chunks = [value] * p if comm.rank == root else None
+    part = yield from scatter(comm, chunks, root=root, nbytes=chunk)
+    parts = yield from _allgather_ring(comm, part, chunk)
+    return parts[root]
+
+
+def reduce(
+    comm: Communicator,
+    value: Any,
+    op: Optional[Callable] = None,
+    root: int = 0,
+    nbytes: int = 8,
+) -> Generator:
+    """Binomial-tree reduction; ``root`` returns the combined value,
+    everyone else ``None``."""
+    op = _default_op(op)
+    p = comm.size
+    vrank = (comm.rank - root) % p
+    result = value
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            dest = (vrank - mask + root) % p
+            yield from comm.send(dest, nbytes, tag=_TAG_COLL - 1, payload=result)
+            return None
+        partner = vrank + mask
+        if partner < p:
+            env = yield from comm.recv(
+                source=(partner + root) % p, tag=_TAG_COLL - 1
+            )
+            yield from comm.compute(comm.fabric(env.source).reduce_time(nbytes))
+            result = op(result, env.payload)
+        mask <<= 1
+    return result
+
+
+def allreduce(
+    comm: Communicator,
+    value: Any,
+    op: Optional[Callable] = None,
+    nbytes: int = 8,
+) -> Generator:
+    """Recursive-doubling allreduce (MPICH-style non-power-of-two folding).
+
+    With ``p = 2^m + r``: the first ``2r`` ranks fold pairwise so ``2^m``
+    ranks run the doubling exchange, then results fan back out.
+    """
+    op = _default_op(op)
+    p = comm.size
+    if p == 1:
+        return value
+    m = int(math.log2(p))
+    pow2 = 1 << m
+    r = p - pow2
+    rank = comm.rank
+    result = value
+    new_rank = -1  # surviving-rank id within the power-of-two group
+
+    if rank < 2 * r:
+        if rank % 2 == 0:  # folds into its odd neighbour, waits for answer
+            yield from comm.send(rank + 1, nbytes, tag=_TAG_COLL - 2, payload=result)
+            env = yield from comm.recv(source=rank + 1, tag=_TAG_COLL - 3)
+            return env.payload
+        env = yield from comm.recv(source=rank - 1, tag=_TAG_COLL - 2)
+        yield from comm.compute(comm.fabric(rank - 1).reduce_time(nbytes))
+        result = op(result, env.payload)
+        new_rank = rank // 2
+    else:
+        new_rank = rank - r
+
+    mask = 1
+    while mask < pow2:
+        new_partner = new_rank ^ mask
+        partner = new_partner * 2 + 1 if new_partner < r else new_partner + r
+        req = comm.isend(partner, nbytes, tag=_TAG_COLL - 4, payload=result)
+        env = yield from comm.recv(source=partner, tag=_TAG_COLL - 4)
+        yield from req.wait()
+        yield from comm.compute(comm.fabric(partner).reduce_time(nbytes))
+        result = op(result, env.payload)
+        mask <<= 1
+
+    if rank < 2 * r:  # odd survivors hand the result back to the folded even
+        yield from comm.send(rank - 1, nbytes, tag=_TAG_COLL - 3, payload=result)
+    return result
+
+
+def allgather(comm: Communicator, value: Any, nbytes: int = 8) -> Generator:
+    """Allgather; returns the list of every rank's value in rank order.
+
+    Recursive doubling for small blocks on power-of-two rank counts; ring
+    otherwise (the algorithm switch behind Fig 13's jump).
+    """
+    p = comm.size
+    if p == 1:
+        return [value]
+    if nbytes <= ALLGATHER_RING_SWITCH:
+        if p & (p - 1) == 0:
+            return (yield from _allgather_recursive_doubling(comm, value, nbytes))
+        return (yield from _allgather_bruck(comm, value, nbytes))
+    return (yield from _allgather_ring(comm, value, nbytes))
+
+
+def _allgather_recursive_doubling(
+    comm: Communicator, value: Any, nbytes: int
+) -> Generator:
+    p = comm.size
+    blocks = {comm.rank: value}
+    mask = 1
+    while mask < p:
+        partner = comm.rank ^ mask
+        env_blocks = dict(blocks)
+        req = comm.isend(
+            partner, nbytes * len(env_blocks), tag=_TAG_COLL - 5, payload=env_blocks
+        )
+        env = yield from comm.recv(source=partner, tag=_TAG_COLL - 5)
+        yield from req.wait()
+        blocks.update(env.payload)
+        mask <<= 1
+    return [blocks[i] for i in range(p)]
+
+
+def _allgather_bruck(comm: Communicator, value: Any, nbytes: int) -> Generator:
+    """Bruck's allgather for non-power-of-two rank counts (small blocks):
+    ⌈log2 p⌉ rounds of doubling block transfers."""
+    p = comm.size
+    blocks = {comm.rank: value}
+    k = 1
+    step = 0
+    while k < p:
+        dest = (comm.rank - k) % p
+        src = (comm.rank + k) % p
+        count = min(k, p - k)
+        req = comm.isend(
+            dest, nbytes * count, tag=_TAG_COLL - 10 - step, payload=dict(blocks)
+        )
+        env = yield from comm.recv(source=src, tag=_TAG_COLL - 10 - step)
+        yield from req.wait()
+        blocks.update(env.payload)
+        k <<= 1
+        step += 1
+    return [blocks[i] for i in range(p)]
+
+
+def _allgather_ring(comm: Communicator, value: Any, nbytes: int) -> Generator:
+    p = comm.size
+    blocks = {comm.rank: value}
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    send_block = comm.rank
+    for _ in range(p - 1):
+        req = comm.isend(
+            right, nbytes, tag=_TAG_COLL - 6, payload=(send_block, blocks[send_block])
+        )
+        env = yield from comm.recv(source=left, tag=_TAG_COLL - 6)
+        yield from req.wait()
+        idx, val = env.payload
+        blocks[idx] = val
+        send_block = idx
+    return [blocks[i] for i in range(p)]
+
+
+def alltoall(comm: Communicator, values: List[Any], nbytes: int = 8) -> Generator:
+    """Pairwise-exchange alltoall; ``values[i]`` goes to rank ``i``.
+
+    Returns the list of received values in source-rank order.  Raises
+    :class:`~repro.errors.OutOfMemoryError` when the library's internal
+    per-pair buffers would exceed the device memory (checked by the
+    caller/runtime via :func:`alltoall_memory_required`).
+    """
+    p = comm.size
+    if values is not None and len(values) != p:
+        raise ConfigError(f"alltoall needs {p} values, got {len(values)}")
+    result: List[Any] = [None] * p
+    result[comm.rank] = values[comm.rank] if values is not None else None
+    for round_no in range(1, p):
+        if p & (p - 1) == 0:
+            partner = comm.rank ^ round_no
+        else:
+            partner = (comm.rank + round_no) % p
+        send_to = partner
+        recv_from = partner if p & (p - 1) == 0 else (comm.rank - round_no) % p
+        req = comm.isend(
+            send_to,
+            nbytes,
+            tag=_TAG_COLL - 7 - round_no,
+            payload=values[send_to] if values is not None else None,
+        )
+        env = yield from comm.recv(source=recv_from, tag=_TAG_COLL - 7 - round_no)
+        yield from req.wait()
+        result[env.source] = env.payload
+    return result
+
+
+def gather(
+    comm: Communicator, value: Any, root: int = 0, nbytes: int = 8
+) -> Generator:
+    """Binomial-tree gather; ``root`` returns the rank-ordered list."""
+    p = comm.size
+    vrank = (comm.rank - root) % p
+    blocks = {comm.rank: value}
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            dest = (vrank - mask + root) % p
+            yield from comm.send(
+                dest, nbytes * len(blocks), tag=_TAG_COLL - 8, payload=blocks
+            )
+            return None
+        partner = vrank + mask
+        if partner < p:
+            env = yield from comm.recv(
+                source=(partner + root) % p, tag=_TAG_COLL - 8
+            )
+            blocks.update(env.payload)
+        mask <<= 1
+    return [blocks[i] for i in range(p)]
+
+
+def scatter(
+    comm: Communicator, values: Optional[List[Any]], root: int = 0, nbytes: int = 8
+) -> Generator:
+    """Binomial-tree scatter; every rank returns its own block."""
+    p = comm.size
+    vrank = (comm.rank - root) % p
+    if comm.rank == root:
+        if values is None or len(values) != p:
+            raise ConfigError(f"scatter root needs {p} values")
+        blocks = {i: values[(i + root) % p] for i in range(p)}  # keyed by vrank
+    else:
+        blocks = {}
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            env = yield from comm.recv(
+                source=((vrank - mask) + root) % p, tag=_TAG_COLL - 9
+            )
+            blocks = env.payload
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < p:
+            subtree = {k: v for k, v in blocks.items() if k >= vrank + mask}
+            blocks = {k: v for k, v in blocks.items() if k < vrank + mask}
+            yield from comm.send(
+                (vrank + mask + root) % p,
+                nbytes * max(1, len(subtree)),
+                tag=_TAG_COLL - 9,
+                payload=subtree,
+            )
+        mask >>= 1
+    return blocks[vrank]
+
+
+# ==========================================================================
+# Closed-form cost models (per-operation wall time)
+# ==========================================================================
+
+
+def sendrecv_ring_time(fabric, p: int, nbytes: int) -> float:
+    """Fig 10's primitive: every rank sends right / receives left, all
+    concurrent — one matched transfer on the clock."""
+    if p < 2:
+        return 0.0
+    return fabric.p2p_time(nbytes)
+
+
+def bcast_time(fabric, p: int, nbytes: int) -> float:
+    """Binomial tree (small) or scatter+allgather à la van de Geijn (large)."""
+    if p < 2:
+        return 0.0
+    rounds = _log2_rounds(p)
+    if nbytes <= LARGE_MESSAGE_SWITCH:
+        return rounds * fabric.p2p_time(nbytes)
+    alpha_part = (rounds + (p - 1) / p) * fabric.p2p_time(0)
+    bw = fabric.bandwidth() if hasattr(fabric, "params") else fabric.data_bandwidth(nbytes)
+    return alpha_part + 2.0 * (p - 1) / p * nbytes / bw
+
+
+def allreduce_time(fabric, p: int, nbytes: int) -> float:
+    """Recursive doubling: ⌈log2 p⌉ rounds, each a full-size exchange plus
+    the local reduction arithmetic (matches the simulated algorithm)."""
+    if p < 2:
+        return 0.0
+    rounds = _log2_rounds(p)
+    return rounds * (fabric.p2p_time(nbytes) + fabric.reduce_time(nbytes))
+
+
+def allgather_time(fabric, p: int, nbytes: int) -> float:
+    """Recursive doubling below the switch, ring above (Fig 13's jump).
+
+    ``nbytes`` is the per-rank block size.
+    """
+    if p < 2:
+        return 0.0
+    bw = fabric.bandwidth() if hasattr(fabric, "params") else fabric.data_bandwidth(nbytes)
+    if nbytes <= ALLGATHER_RING_SWITCH:
+        # Recursive doubling (power-of-two) / Bruck (otherwise): same cost.
+        rounds = _log2_rounds(p)
+        return rounds * fabric.p2p_time(0) + (p - 1) * nbytes / bw
+    return (p - 1) * fabric.p2p_time(nbytes)
+
+
+def alltoall_time(fabric, p: int, nbytes: int) -> float:
+    """Pairwise exchange: p−1 rounds under all-to-all congestion."""
+    if p < 2:
+        return 0.0
+    alpha = (
+        fabric.alpha("alltoall", p)
+        if hasattr(fabric, "alpha")
+        else fabric.p2p_time(0)
+    )
+    if hasattr(fabric, "params"):
+        bw = fabric.bandwidth("alltoall")
+        handshake = fabric.handshake(nbytes)
+    else:
+        bw = fabric.data_bandwidth(nbytes)
+        handshake = fabric.handshake(nbytes)
+    return (p - 1) * (alpha + handshake + nbytes / bw)
+
+
+def alltoall_memory_required(p: int, nbytes: int) -> float:
+    """Total bytes an alltoall of per-pair size ``nbytes`` needs on one card.
+
+    Application send+receive buffers (``2·p·nbytes`` per rank) plus the
+    MPI library's per-pair connection contexts and staging buffers.  At
+    236 ranks this crosses a Phi card's 8 GB between 4 KiB and 8 KiB —
+    the paper's observed failure point.
+    """
+    if p < 1 or nbytes < 0:
+        raise ConfigError("invalid alltoall parameters")
+    app = 2.0 * p * p * nbytes
+    internal = p * p * (CONN_BASE + STAGING_MULT * min(nbytes, STAGING_CAP))
+    return app + internal
+
+
+def alltoall_fits(p: int, nbytes: int, device_memory: float = 8 * GiB) -> bool:
+    """Does an alltoall of this shape fit in ``device_memory``?"""
+    return alltoall_memory_required(p, nbytes) <= device_memory
+
+
+def check_alltoall_memory(p: int, nbytes: int, device_memory: float) -> None:
+    """Raise :class:`OutOfMemoryError` if the alltoall cannot allocate."""
+    required = alltoall_memory_required(p, nbytes)
+    if required > device_memory:
+        raise OutOfMemoryError(required, device_memory, f"MPI_Alltoall p={p}")

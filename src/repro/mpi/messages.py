@@ -1,0 +1,59 @@
+"""Message envelopes and (source, tag) matching for the simulated MPI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.simcore.resources import Event
+
+#: Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+ANY_SOURCE: Optional[int] = None
+ANY_TAG: Optional[int] = None
+
+
+@dataclass
+class Envelope:
+    """One in-flight message.
+
+    ``post_time`` is when the sender posted it; ``payload`` carries the
+    (optional) Python object being communicated — the simulator moves real
+    data so collective algorithms can be verified for correctness, not
+    just for timing.  ``done`` synchronizes rendezvous sends.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: int
+    post_time: float
+    payload: object = None
+    pattern: str = "neighbor"
+    done: Event = field(default_factory=lambda: Event(name="msg.done"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Envelope {self.source}->{self.dest} tag={self.tag} "
+            f"nbytes={self.nbytes}>"
+        )
+
+
+def match_filter(
+    source: Optional[int], tag: Optional[int]
+) -> Optional[Callable[[Envelope], bool]]:
+    """Build a Store filter implementing MPI matching semantics.
+
+    ``None`` for both (full wildcard) returns ``None`` so the Store can
+    use its fast path.
+    """
+    if source is None and tag is None:
+        return None
+
+    def flt(env: Envelope) -> bool:
+        if source is not None and env.source != source:
+            return False
+        if tag is not None and env.tag != tag:
+            return False
+        return True
+
+    return flt

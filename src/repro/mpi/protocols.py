@@ -1,0 +1,128 @@
+"""MPI-over-PCIe paths: DAPL provider selection and protocol costing.
+
+Implements Section 5's three-state protocol ladder for messages crossing
+PCIe between host and Phi (or Phi and Phi):
+
+* ≤ 8 KiB      — eager through the CCL-direct provider (lowest latency);
+* ≤ 256 KiB    — rendezvous direct-copy through CCL-direct;
+* > 256 KiB    — rendezvous through DAPL-over-SCIF (highest bandwidth),
+  *post-update software only*; pre-update keeps CCL for everything.
+
+The per-path constants reproduce Figures 7–8: latencies of 3.3/4.6/6.3 µs
+(pre) and 3.3/4.1/6.6 µs (post) for host–Phi0 / host–Phi1 / Phi0–Phi1,
+and 4 MiB bandwidths of 1.6 GB/s / 455 MB/s / 444 MB/s (pre) rising to
+6 / 6 / 0.9 GB/s (post).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.core.software import SoftwareStack
+from repro.units import GB, KiB, MB, US
+
+
+@dataclass(frozen=True)
+class PcieMpiPathParams:
+    """Per-(path, software) transport constants."""
+
+    latency: float  # eager small-message latency (α), seconds
+    ccl_bandwidth: float  # CCL-direct data rate, bytes/s
+    scif_bandwidth: float  # DAPL-over-SCIF data rate, bytes/s
+    scif_setup: float = 10 * US  # extra SCIF channel setup per message
+
+
+#: (path, software name) → constants.  Paths: "host-phi0", "host-phi1",
+#: "phi0-phi1".  Calibrated against Figures 7–9.
+PCIE_MPI_PATHS: Dict[Tuple[str, str], PcieMpiPathParams] = {
+    ("host-phi0", "pre-update"): PcieMpiPathParams(3.3 * US, 1.62 * GB, 1.62 * GB),
+    ("host-phi1", "pre-update"): PcieMpiPathParams(4.6 * US, 462 * MB, 462 * MB),
+    ("phi0-phi1", "pre-update"): PcieMpiPathParams(6.3 * US, 449 * MB, 449 * MB),
+    ("host-phi0", "post-update"): PcieMpiPathParams(3.3 * US, 2.1 * GB, 6.15 * GB),
+    ("host-phi1", "post-update"): PcieMpiPathParams(4.1 * US, 560 * MB, 6.15 * GB),
+    ("phi0-phi1", "post-update"): PcieMpiPathParams(6.6 * US, 460 * MB, 905 * MB),
+}
+
+_RENDEZVOUS_EXTRA = 0.5  # handshake cost as a fraction of α
+
+
+class PciePathFabric:
+    """Cost model for MPI messages crossing a PCIe path under a software stack.
+
+    Exposes the same ``p2p_time`` interface as
+    :class:`~repro.mpi.fabrics.Fabric` so the simulated runtime can place
+    ranks on either side transparently (symmetric mode).
+    """
+
+    def __init__(self, path: str, software: SoftwareStack):
+        key = (path, software.name)
+        if key not in PCIE_MPI_PATHS:
+            known = sorted({p for p, _ in PCIE_MPI_PATHS})
+            raise ConfigError(f"unknown PCIe MPI path {path!r} (known: {known})")
+        self.path = path
+        self.software = software
+        self.params = PCIE_MPI_PATHS[key]
+        self.name = f"{path}/{software.name}"
+
+    @property
+    def eager_max(self) -> int:
+        return self.software.eager_max
+
+    def provider(self, nbytes: int) -> str:
+        return self.software.provider_for(nbytes)
+
+    def protocol(self, nbytes: int) -> str:
+        return self.software.protocol_for(nbytes)
+
+    def data_bandwidth(self, nbytes: int) -> float:
+        """The provider-dependent wire rate for this message size."""
+        if self.provider(nbytes) == "scif":
+            return self.params.scif_bandwidth
+        return self.params.ccl_bandwidth
+
+    def p2p_time(self, nbytes: int, pattern: str = "neighbor", n_senders: int = 1) -> float:
+        """Time for one matched transfer of ``nbytes`` on this path."""
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        a = self.params.latency
+        t = a
+        if self.protocol(nbytes) == "rendezvous":
+            t += _RENDEZVOUS_EXTRA * a
+        if self.provider(nbytes) == "scif":
+            t += self.params.scif_setup
+        return t + nbytes / self.data_bandwidth(nbytes)
+
+    def bandwidth(self, nbytes: int) -> float:
+        """Achieved bandwidth for a message of ``nbytes`` (Fig 8's y-axis)."""
+        if nbytes <= 0:
+            raise ConfigError("nbytes must be positive")
+        return nbytes / self.p2p_time(nbytes)
+
+    def latency(self) -> float:
+        """Small-message MPI latency (Fig 7's quantity: 1-byte transfer)."""
+        return self.p2p_time(1)
+
+    def sender_time(self, nbytes: int) -> float:
+        """Sender-side occupancy for an eager message."""
+        return 0.5 * self.params.latency + min(nbytes, self.eager_max) / (
+            self.params.ccl_bandwidth
+        )
+
+    def handshake(self, nbytes: int) -> float:
+        if self.protocol(nbytes) == "eager":
+            return 0.0
+        return _RENDEZVOUS_EXTRA * self.params.latency
+
+    def reduce_time(self, nbytes: int) -> float:
+        # Reductions across PCIe paths run on the endpoints; host rate.
+        return nbytes / (5 * GB)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PciePathFabric {self.name}>"
+
+
+def pcie_fabric(path: str, software: SoftwareStack) -> PciePathFabric:
+    """Convenience constructor (``pcie_fabric("host-phi0", POST_UPDATE)``)."""
+    return PciePathFabric(path, software)

@@ -1,0 +1,94 @@
+"""The simulated ``mpiexec``: launch N rank processes on a fabric and run.
+
+A :class:`MpiJob` owns the engine, the per-rank mailboxes and the fabric
+resolver; :func:`mpiexec` is the one-call convenience used throughout the
+examples and tests::
+
+    def main(comm):
+        total = yield from comm.allreduce(comm.rank)
+        return total
+
+    result = mpiexec(8, host_fabric(), main)
+    result.elapsed      # simulated seconds
+    result.returns      # per-rank return values
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Union
+
+from repro.errors import ConfigError
+from repro.mpi.api import Communicator, FabricResolver
+from repro.simcore import Engine, Store
+
+RankMain = Callable[[Communicator], Generator]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated MPI job."""
+
+    elapsed: float  # simulated wall time, seconds
+    returns: List[Any]  # per-rank return values
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.returns)
+
+
+class MpiJob:
+    """N simulated ranks wired to mailboxes over a fabric."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        fabric: Union[Any, FabricResolver],
+        engine: Optional[Engine] = None,
+        name: str = "mpijob",
+    ):
+        if n_ranks < 1:
+            raise ConfigError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+        self.engine = engine or Engine()
+        self.name = name
+        if callable(fabric) and not hasattr(fabric, "p2p_time"):
+            self._fabric_for: FabricResolver = fabric
+        else:
+            self._fabric_for = lambda src, dst: fabric
+        self.mailboxes = [Store(name=f"{name}.mbox[{r}]") for r in range(n_ranks)]
+        self._procs = []
+
+    def communicator(self, rank: int) -> Communicator:
+        return Communicator(
+            self.engine, rank, self.n_ranks, self.mailboxes, self._fabric_for
+        )
+
+    def launch(self, main: RankMain) -> None:
+        """Spawn ``main(comm)`` once per rank."""
+        for rank in range(self.n_ranks):
+            comm = self.communicator(rank)
+            self._procs.append(
+                self.engine.spawn(main(comm), name=f"{self.name}.rank{rank}")
+            )
+
+    def run(self, until: Optional[float] = None) -> JobResult:
+        """Run the engine to completion; returns elapsed time + rank returns."""
+        start = self.engine.now
+        self.engine.run(until=until)
+        return JobResult(
+            elapsed=self.engine.now - start,
+            returns=[p.value for p in self._procs],
+        )
+
+
+def mpiexec(
+    n_ranks: int,
+    fabric: Union[Any, FabricResolver],
+    main: RankMain,
+    engine: Optional[Engine] = None,
+) -> JobResult:
+    """Launch and run ``main`` on ``n_ranks`` simulated ranks."""
+    job = MpiJob(n_ranks, fabric, engine=engine)
+    job.launch(main)
+    return job.run()

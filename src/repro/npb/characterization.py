@@ -1,0 +1,187 @@
+"""NPB resource characterizations (Class C) for the evaluator.
+
+Each benchmark's Class C run is summarized as a
+:class:`~repro.execmodel.kernel.KernelSpec`: total flops, main-memory
+traffic (flops / arithmetic intensity), vector/gather/scalar work split,
+streaming quality, footprint, and synchronization density.  The evaluator
+prices these on the host and Phi to regenerate Figures 19–20, and the MG
+entry also powers the offload study (Figs 24–27).
+
+The profiles encode the paper's own explanations:
+
+* **BT** — "vectorized, compute intensive, and highly parallel": high
+  vector fraction, cache-blocked (high intensity), prefers 4 threads/core;
+* **CG** — "uses indirect addressing … cannot reuse the cache": almost
+  all gather work, non-streaming memory;
+* **MG** — long unit-stride stencil sweeps: the one benchmark faster on
+  the Phi (calibrated to Fig 25's 23.5 vs 29.9 Gflop/s);
+* **FT** — transposes with large strides; Class C needs ~10 GB under MPI,
+  more than a Phi card holds (Section 6.8.2);
+* **LU** — wavefront dependencies limit vector length and add sync;
+* **EP** — a rejection loop the compiler cannot vectorize well; scalar
+  throughput favours the host's out-of-order cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.execmodel.kernel import KernelSpec
+from repro.npb.common import problem_class
+from repro.units import GB
+
+#: Class-C total operation counts (units of the NPB "Mop/s" accounting),
+#: from the NPB 3.3 reference outputs.
+CLASS_C_FLOPS: Dict[str, float] = {
+    "BT": 5.7e11,
+    "SP": 5.8e11,
+    "LU": 4.1e11,
+    "CG": 1.4e11,
+    "MG": 1.55e11,
+    "FT": 1.3e12,
+    "EP": 8.6e9,
+    "IS": 1.3e9,
+}
+
+#: Threads-per-core preference of codes that keep the in-order pipeline
+#: busy from a single stream (BT's long fused line solves).
+TT_PREFER_4 = {1: 0.50, 2: 0.85, 3: 0.95, 4: 1.00}
+
+
+@dataclass(frozen=True)
+class NpbProfile:
+    """The characterization parameters of one benchmark."""
+
+    intensity: float  # flops per byte of memory traffic
+    vector: float
+    gather: float
+    streaming: float
+    streams_per_thread: int = 2
+    parallel: float = 0.999
+    sync_points: int = 250
+    footprint: float = 2.0 * GB
+    mpi_footprint: float = 3.0 * GB  # per-card total at 64+ ranks
+    thread_table: Optional[Mapping[int, float]] = None
+    #: fraction of per-iteration data exchanged by the MPI version
+    comm_bytes_per_flop: float = 0.02
+
+
+PROFILES: Dict[str, NpbProfile] = {
+    "BT": NpbProfile(
+        intensity=1.70,
+        vector=0.615,
+        gather=0.0,
+        streaming=0.55,
+        streams_per_thread=3,
+        parallel=0.9999,  # almost no serial part: fully blocked line solves
+        sync_points=250 * 4,
+        footprint=3.0 * GB,
+        thread_table=TT_PREFER_4,
+        comm_bytes_per_flop=0.004,
+    ),
+    "SP": NpbProfile(
+        intensity=0.55,
+        vector=0.85,
+        gather=0.0,
+        streaming=0.50,
+        streams_per_thread=3,
+        sync_points=400 * 4,
+        footprint=3.0 * GB,
+        comm_bytes_per_flop=0.006,
+    ),
+    "LU": NpbProfile(
+        intensity=0.80,
+        vector=0.55,
+        gather=0.0,
+        streaming=0.45,
+        streams_per_thread=3,
+        sync_points=250 * 8,  # wavefront pipelining synchronizes heavily
+        footprint=2.0 * GB,
+        comm_bytes_per_flop=0.008,
+    ),
+    "CG": NpbProfile(
+        intensity=0.14,
+        vector=0.02,
+        gather=0.85,
+        streaming=0.05,
+        streams_per_thread=2,
+        sync_points=75 * 26,
+        footprint=1.5 * GB,
+        comm_bytes_per_flop=0.02,
+    ),
+    "MG": NpbProfile(
+        intensity=0.31,
+        vector=0.97,
+        gather=0.0,
+        streaming=0.82,
+        streams_per_thread=3,
+        sync_points=20 * 60,
+        footprint=3.5 * GB,
+        comm_bytes_per_flop=0.005,
+    ),
+    "FT": NpbProfile(
+        intensity=0.90,
+        vector=0.70,
+        gather=0.15,  # transpose/strided passes behave gather-like
+        streaming=0.40,
+        streams_per_thread=2,
+        sync_points=20 * 10,
+        footprint=6.5 * GB,  # three complex 512³ arrays: fits one card
+        mpi_footprint=10.0 * GB,  # the paper's number: MPI FT needs ≥10 GB
+        comm_bytes_per_flop=0.015,
+    ),
+    "EP": NpbProfile(
+        intensity=1e4,  # essentially no memory traffic
+        vector=0.35,  # the rejection loop resists vectorization
+        gather=0.0,
+        streaming=1.0,
+        streams_per_thread=1,
+        sync_points=10,
+        footprint=0.1 * GB,
+        mpi_footprint=0.2 * GB,
+        comm_bytes_per_flop=1e-7,
+    ),
+    "IS": NpbProfile(
+        intensity=0.08,
+        vector=0.15,
+        gather=0.50,  # histogram scatter
+        streaming=0.30,
+        streams_per_thread=2,
+        sync_points=10 * 12,
+        footprint=1.2 * GB,
+        comm_bytes_per_flop=0.05,
+    ),
+}
+
+#: Benchmarks appearing in the OpenMP figure (Fig 19).
+OPENMP_BENCHMARKS = ("BT", "SP", "LU", "CG", "MG", "FT", "EP")
+#: Benchmarks appearing in the MPI figure (Fig 20).
+MPI_BENCHMARKS = ("BT", "SP", "LU", "CG", "MG", "FT")
+
+
+def class_c_kernel(benchmark: str, mpi: bool = False) -> KernelSpec:
+    """The Class C KernelSpec for ``benchmark``.
+
+    ``mpi=True`` uses the (larger) per-card MPI footprint — the setting
+    in which FT cannot run on the Phi at all.
+    """
+    b = benchmark.upper()
+    if b not in PROFILES:
+        raise ConfigError(f"no characterization for {benchmark!r}")
+    p = PROFILES[b]
+    flops = CLASS_C_FLOPS[b]
+    return KernelSpec(
+        name=f"NPB-{b}.C" + (".mpi" if mpi else ""),
+        flops=flops,
+        memory_traffic=flops / p.intensity,
+        vector_fraction=p.vector,
+        gather_fraction=p.gather,
+        parallel_fraction=p.parallel,
+        streaming_fraction=p.streaming,
+        memory_streams_per_thread=p.streams_per_thread,
+        footprint=p.mpi_footprint if mpi else p.footprint,
+        sync_points=p.sync_points,
+        thread_table=p.thread_table,
+    )

@@ -1,0 +1,114 @@
+"""NPB problem classes, sizes and the verification harness.
+
+Problem sizes follow the NPB 3.3 specification.  The paper ran Class C;
+the test suite exercises the real implementations at Class S (and W where
+cheap) so the whole suite verifies in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError, UnsupportedConfigurationError
+
+CLASSES = ("S", "W", "A", "B", "C")
+
+#: Per-benchmark size tables (NPB 3.3).
+EP_LOG2_PAIRS: Dict[str, int] = {"S": 24, "W": 25, "A": 28, "B": 30, "C": 32}
+
+MG_SIZES: Dict[str, Tuple[int, int]] = {
+    # class → (grid edge, iterations)
+    "S": (32, 4),
+    "W": (128, 4),
+    "A": (256, 4),
+    "B": (256, 20),
+    "C": (512, 20),
+}
+
+CG_SIZES: Dict[str, Tuple[int, int, int, float]] = {
+    # class → (na, nonzer, niter, shift)
+    "S": (1400, 7, 15, 10.0),
+    "W": (7000, 8, 15, 12.0),
+    "A": (14000, 11, 15, 20.0),
+    "B": (75000, 13, 75, 60.0),
+    "C": (150000, 15, 75, 110.0),
+}
+
+FT_SIZES: Dict[str, Tuple[Tuple[int, int, int], int]] = {
+    # class → ((nx, ny, nz), iterations)
+    "S": ((64, 64, 64), 6),
+    "W": ((128, 128, 32), 6),
+    "A": ((256, 256, 128), 6),
+    "B": ((512, 256, 256), 20),
+    "C": ((512, 512, 512), 20),
+}
+
+IS_SIZES: Dict[str, Tuple[int, int]] = {
+    # class → (total keys, max key)
+    "S": (1 << 16, 1 << 11),
+    "W": (1 << 20, 1 << 16),
+    "A": (1 << 23, 1 << 19),
+    "B": (1 << 25, 1 << 21),
+    "C": (1 << 27, 1 << 23),
+}
+
+PSEUDO_APP_SIZES: Dict[str, Tuple[int, int]] = {
+    # BT/SP/LU compact versions: class → (grid edge, time steps)
+    "S": (12, 16),
+    "W": (24, 16),
+    "A": (64, 30),
+    "B": (102, 30),
+    "C": (162, 30),
+}
+
+
+def problem_class(cls: str) -> str:
+    cls = cls.upper()
+    if cls not in CLASSES:
+        raise ConfigError(f"unknown NPB class {cls!r} (have {CLASSES})")
+    return cls
+
+
+@dataclass
+class NpbResult:
+    """Outcome of one benchmark run."""
+
+    benchmark: str
+    problem_class: str
+    verified: bool
+    mops: float  # millions of operations per second (real wall time)
+    wall_seconds: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.wall_seconds < 0:
+            raise ConfigError("negative wall time")
+
+
+def verify_close(
+    computed: float, reference: float, epsilon: float, what: str
+) -> bool:
+    """NPB-style relative-error verification."""
+    if reference == 0.0:
+        return abs(computed) <= epsilon
+    return abs((computed - reference) / reference) <= epsilon
+
+
+def check_rank_constraint(benchmark: str, n_ranks: int) -> None:
+    """MPI rank-count rules (Section 6.8.2): CG/MG/FT/LU need powers of
+    two; BT/SP need perfect squares."""
+    b = benchmark.upper()
+    if b in ("CG", "MG", "FT", "LU"):
+        if n_ranks & (n_ranks - 1):
+            raise UnsupportedConfigurationError(
+                f"{b} requires a power-of-two rank count, got {n_ranks}"
+            )
+    elif b in ("BT", "SP"):
+        root = int(round(n_ranks**0.5))
+        if root * root != n_ranks:
+            raise UnsupportedConfigurationError(
+                f"{b} requires a square rank count, got {n_ranks}"
+            )
+    elif b not in ("EP", "IS"):
+        raise ConfigError(f"unknown benchmark {benchmark!r}")

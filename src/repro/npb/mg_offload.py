@@ -1,0 +1,152 @@
+"""The MG offload & loop-collapse study (Sections 6.9.1.4–6.9.1.7).
+
+Two models built from MG's actual V-cycle structure:
+
+* :func:`collapse_model` (Fig 24) — the OpenMP version parallelizes the
+  outermost grid loop only, so level ``s`` exposes ``s`` grains; with 236
+  threads the finest Class C level (512 iterations) runs at 72 %
+  utilization and coarse levels far worse.  ``collapse(2)`` raises the
+  grain count to ``s²``, recovering 25–28 % on the Phi while costing the
+  host ~1 % in added scheduling.
+
+* :func:`offload_regions` (Figs 25–27) — the three ported variants:
+  offloading the most time-consuming loop of ``resid`` (most invocations,
+  most total data), the whole ``resid`` subroutine, or the whole
+  computation (input transferred once).  Invocation counts and data
+  volumes follow the V-cycle call graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.core.offload import OffloadRegion
+from repro.execmodel.kernel import KernelSpec
+from repro.npb.characterization import CLASS_C_FLOPS, PROFILES
+from repro.npb.common import MG_SIZES, problem_class
+
+#: Scheduling overhead the collapse clause adds when parallelism was
+#: already sufficient (the paper's −1 % on the 16-thread host).
+COLLAPSE_OVERHEAD = 0.01
+
+
+def level_sizes(problem: str) -> List[int]:
+    """Grid edges of the V-cycle levels, finest first."""
+    n, _ = MG_SIZES[problem_class(problem)]
+    sizes = []
+    s = n
+    while s >= 2:
+        sizes.append(s)
+        s //= 2
+    return sizes
+
+
+def level_shares(problem: str) -> List[Tuple[int, float]]:
+    """(edge, fraction of per-iteration work) — work scales with s³."""
+    sizes = level_sizes(problem)
+    weights = [float(s) ** 3 for s in sizes]
+    total = sum(weights)
+    return [(s, w / total) for s, w in zip(sizes, weights)]
+
+
+def _grain_efficiency(grains: int, n_threads: int) -> float:
+    """Utilization of ``n_threads`` given ``grains`` independent iterations."""
+    if grains < n_threads:
+        return grains / n_threads
+    return (grains / n_threads) / math.ceil(grains / n_threads)
+
+
+def collapse_model(
+    problem: str, n_threads: int, collapsed: bool
+) -> float:
+    """Relative time of one MG iteration (1.0 = perfectly utilized).
+
+    Sums per-level work divided by the level's grain efficiency; the
+    collapsed variant exposes s² grains but pays the scheduling surcharge.
+    """
+    if n_threads < 1:
+        raise ConfigError("n_threads must be >= 1")
+    total = 0.0
+    for s, share in level_shares(problem):
+        grains = s * s if collapsed else s
+        total += share / _grain_efficiency(grains, n_threads)
+    if collapsed:
+        total *= 1.0 + COLLAPSE_OVERHEAD
+    return total
+
+
+def collapse_gain(problem: str, n_threads: int) -> float:
+    """Fractional speedup of the collapsed version (Fig 24's y-axis)."""
+    plain = collapse_model(problem, n_threads, collapsed=False)
+    coll = collapse_model(problem, n_threads, collapsed=True)
+    return plain / coll - 1.0
+
+
+# --------------------------------------------------------------------------
+# Offload variants (Figs 25–27)
+# --------------------------------------------------------------------------
+
+#: Calls to resid() per MG iteration: one top-level plus one per up-sweep
+#: level of the V-cycle.
+def _resid_calls_per_iteration(problem: str) -> int:
+    return 1 + max(0, len(level_sizes(problem)) - 2)
+
+
+def offload_regions(problem: str = "C") -> Dict[str, OffloadRegion]:
+    """The three MG offload ports: ``loop``, ``subroutine``, ``whole``.
+
+    Data volumes come from the grid sizes: the fine grid holds n³ doubles;
+    the loop variant re-ships its operand slices on every loop instance,
+    the subroutine variant once per resid() call, the whole-computation
+    variant ships the input once and results back once.
+    """
+    problem = problem_class(problem)
+    n, nit = MG_SIZES[problem]
+    grid_bytes = n**3 * 8
+    profile = PROFILES["MG"]
+    total_flops = CLASS_C_FLOPS["MG"] * (n**3 * nit) / (512**3 * 20)
+    mem_traffic = total_flops / profile.intensity
+
+    def kernel(name: str, invocations: int) -> KernelSpec:
+        return KernelSpec(
+            name=name,
+            flops=total_flops / invocations,
+            memory_traffic=mem_traffic / invocations,
+            vector_fraction=profile.vector,
+            streaming_fraction=profile.streaming,
+            memory_streams_per_thread=profile.streams_per_thread,
+            parallel_fraction=profile.parallel,
+        )
+
+    resid_calls = _resid_calls_per_iteration(problem) * nit
+    # The resid kernel contains three bulk loops (neighbour sums + update);
+    # offloading one loop triples the invocation count and re-ships shared
+    # operands each time.
+    loop_invocations = 3 * resid_calls
+    # Average level size weighted by work: dominated by the fine grid.
+    avg_level_bytes = sum(share * (s**3) * 8 for s, share in level_shares(problem))
+
+    loop = OffloadRegion(
+        name="loop",
+        kernel=kernel("mg-loop", loop_invocations),
+        data_in=int(2 * avg_level_bytes),  # u and v slices per loop
+        data_out=int(avg_level_bytes),  # r back
+        invocations=loop_invocations,
+    )
+    subroutine = OffloadRegion(
+        name="subroutine",
+        kernel=kernel("mg-resid", resid_calls),
+        data_in=int(2 * avg_level_bytes),
+        data_out=int(avg_level_bytes),
+        invocations=resid_calls,
+    )
+    whole = OffloadRegion(
+        name="whole",
+        kernel=kernel("mg-whole", 1),
+        data_in=grid_bytes,  # v generated on the host, sent once
+        data_out=2 * grid_bytes,  # u and r returned
+        invocations=1,
+    )
+    return {"loop": loop, "subroutine": subroutine, "whole": whole}

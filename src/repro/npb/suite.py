@@ -1,0 +1,89 @@
+"""NPB suite runner: execute the real benchmarks and/or price the
+characterizations on the simulated machines."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.core.evaluator import Evaluator
+from repro.core.results import Measurement, ResultSet
+from repro.machine.node import Device
+from repro.npb import bt, cg, ep, ft, is_, lu, mg, sp
+from repro.npb.characterization import (
+    MPI_BENCHMARKS,
+    OPENMP_BENCHMARKS,
+    class_c_kernel,
+)
+from repro.npb.common import NpbResult, check_rank_constraint
+
+RUNNERS = {
+    "EP": ep.run,
+    "CG": cg.run,
+    "MG": mg.run,
+    "FT": ft.run,
+    "IS": is_.run,
+    "BT": bt.run,
+    "LU": lu.run,
+    "SP": sp.run,
+}
+
+
+def run_real(
+    benchmarks: Optional[Iterable[str]] = None, problem: str = "S"
+) -> Dict[str, NpbResult]:
+    """Execute the real NumPy implementations and return their results."""
+    names = [b.upper() for b in (benchmarks or RUNNERS)]
+    out = {}
+    for name in names:
+        if name not in RUNNERS:
+            raise ConfigError(f"unknown benchmark {name!r}")
+        out[name] = RUNNERS[name](problem)
+    return out
+
+
+def openmp_figure(evaluator: Optional[Evaluator] = None) -> ResultSet:
+    """The Figure 19 dataset: Class C OpenMP on host (16 threads) and
+    Phi0 (59·k threads)."""
+    ev = evaluator or Evaluator()
+    results = ResultSet()
+    for b in OPENMP_BENCHMARKS:
+        kernel = class_c_kernel(b)
+        results.add(
+            ev.native(Device.HOST, kernel, 16).with_config(benchmark=b)
+        )
+        for tpc in (1, 2, 3, 4):
+            try:
+                results.add(
+                    ev.native(Device.PHI0, kernel, 59 * tpc).with_config(
+                        benchmark=b, tpc=tpc
+                    )
+                )
+            except OutOfMemoryError:
+                continue
+    return results
+
+
+def mpi_figure(evaluator: Optional[Evaluator] = None) -> ResultSet:
+    """The Figure 20 dataset: Class C MPI on Phi0 at the legal rank counts.
+
+    Power-of-two benchmarks run at 64/128 ranks; BT/SP at the square
+    counts 64/121/169/225; FT is absent — it cannot allocate (OOM).
+    """
+    ev = evaluator or Evaluator()
+    results = ResultSet()
+    for b in MPI_BENCHMARKS:
+        kernel = class_c_kernel(b, mpi=True)
+        ranks = (64, 121, 169, 225) if b in ("BT", "SP") else (64, 128)
+        for r in ranks:
+            check_rank_constraint(b, r)
+            try:
+                results.add(
+                    ev.native(Device.PHI0, kernel, r).with_config(
+                        benchmark=b, ranks=r
+                    )
+                )
+            except OutOfMemoryError:
+                # FT's fate on the Phi: recorded as an absent bar.
+                break
+    return results

@@ -1,0 +1,43 @@
+"""Simulated OpenMP runtime and construct overhead models.
+
+Reproduces the paper's Section 6.5 methodology (the EPCC-style
+microbenchmarks): construct overhead is defined as ``Tp − Ts/p`` — the
+parallel time minus the ideal serial share.  The cost models price each
+construct from a per-processor synchronization "hop" (a cache-line
+hand-off between threads), which is an order of magnitude more expensive
+on the Phi (slow in-order cores synchronizing over the on-die ring) than
+on the host — the paper's headline OpenMP finding.
+
+Modules:
+
+* :mod:`repro.openmp.affinity` — compact/balanced/scatter thread placement;
+* :mod:`repro.openmp.constructs` — synchronization construct overheads (Fig 15);
+* :mod:`repro.openmp.scheduling` — STATIC/DYNAMIC/GUIDED loop scheduling
+  (Fig 16) and exact iteration-coverage schedules;
+* :mod:`repro.openmp.runtime` — a discrete-event thread team.
+"""
+
+from repro.openmp.affinity import Placement, thread_map
+from repro.openmp.constructs import (
+    CONSTRUCTS,
+    construct_overhead,
+    sync_hop,
+)
+from repro.openmp.scheduling import (
+    SCHEDULES,
+    iteration_schedule,
+    scheduling_overhead,
+)
+from repro.openmp.runtime import Team
+
+__all__ = [
+    "CONSTRUCTS",
+    "Placement",
+    "SCHEDULES",
+    "Team",
+    "construct_overhead",
+    "iteration_schedule",
+    "scheduling_overhead",
+    "sync_hop",
+    "thread_map",
+]

@@ -1,0 +1,83 @@
+"""Thread affinity: mapping OpenMP thread ids to (core, hardware-thread) slots.
+
+Implements the three KMP_AFFINITY policies relevant to the paper's runs:
+
+* ``balanced`` — threads spread over cores first, consecutive ids stay
+  close (the setting the paper's Phi runs used: 59 threads → 59 cores);
+* ``compact`` — fill each core's hardware threads before the next core;
+* ``scatter`` — round-robin over cores, like balanced but interleaved ids.
+
+The placement honours the OS-core convention from
+:func:`repro.machine.core.placement`: thread counts that are multiples of
+the usable core count avoid the OS core; multiples of the full core count
+spill onto it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.machine.core import placement
+from repro.machine.spec import ProcessorSpec
+
+
+class Placement(str, enum.Enum):
+    BALANCED = "balanced"
+    COMPACT = "compact"
+    SCATTER = "scatter"
+
+
+def thread_map(
+    proc: ProcessorSpec,
+    n_threads: int,
+    policy: Placement = Placement.BALANCED,
+    use_all_cores: Optional[bool] = None,
+) -> List[Tuple[int, int]]:
+    """Thread id → (core, slot) assignments.
+
+    Returns a list of length ``n_threads``; core ids are 0-based, slot is
+    the hardware-thread context on that core.
+    """
+    policy = Placement(policy)
+    cores, tpc, _uses_os = placement(proc, n_threads, use_all_cores)
+    assignment: List[Tuple[int, int]] = []
+    if policy is Placement.COMPACT:
+        for t in range(n_threads):
+            core, slot = divmod(t, proc.core.hw_threads)
+            if core >= proc.n_cores:
+                raise ConfigError("compact placement overflowed cores")
+            assignment.append((core, slot))
+    elif policy is Placement.SCATTER:
+        for t in range(n_threads):
+            slot, core = divmod(t, cores)
+            assignment.append((core, slot))
+    else:  # BALANCED: contiguous groups of ceil/floor size per core
+        base, extra = divmod(n_threads, cores)
+        t = 0
+        for core in range(cores):
+            count = base + (1 if core < extra else 0)
+            for slot in range(count):
+                assignment.append((core, slot))
+                t += 1
+    if len(assignment) != n_threads:
+        raise ConfigError("placement did not cover all threads")  # pragma: no cover
+    max_slot = max(s for _, s in assignment)
+    if max_slot >= proc.core.hw_threads:
+        raise ConfigError(
+            f"{policy.value} placement needs {max_slot + 1} contexts/core, "
+            f"{proc.name} has {proc.core.hw_threads}"
+        )
+    return assignment
+
+
+def cores_used(assignment: List[Tuple[int, int]]) -> int:
+    return len({c for c, _ in assignment})
+
+
+def max_threads_per_core(assignment: List[Tuple[int, int]]) -> int:
+    from collections import Counter
+
+    counts = Counter(c for c, _ in assignment)
+    return max(counts.values())

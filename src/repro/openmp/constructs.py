@@ -1,0 +1,95 @@
+"""OpenMP synchronization construct overhead models (Figure 15).
+
+EPCC methodology: overhead = Tp − Ts/p.  Every construct's cost is built
+from one primitive, the **synchronization hop** — the time for one
+cache-line hand-off between two threads.  On the host this is an L3
+round-trip handled by fast out-of-order cores; on the Phi it is a ring
+traversal handled by 1.05 GHz in-order cores running the runtime's
+synchronization code, roughly 6× more expensive per hop.  Tree-structured
+constructs then multiply that by ⌈log2 p⌉ with p = 236 vs 16, producing
+the paper's "almost an order of magnitude higher overhead on the Phi".
+
+The relative ordering is structural, not tuned: REDUCTION (fork + join +
+combine tree) > PARALLEL FOR > PARALLEL > work-sharing (barrier-bound) >
+mutual exclusion > ATOMIC (one remote RMW), matching Fig 15's
+"most expensive is Reduction … ATOMIC is the least expensive".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.machine.spec import ProcessorSpec
+from repro.units import US
+
+#: Constructs measured by the synchronization benchmark (Fig 15's x-axis).
+CONSTRUCTS = (
+    "PARALLEL",
+    "DO_FOR",
+    "PARALLEL_FOR",
+    "BARRIER",
+    "SINGLE",
+    "CRITICAL",
+    "LOCK_UNLOCK",
+    "ORDERED",
+    "ATOMIC",
+    "REDUCTION",
+)
+
+#: Synchronization hop cost (seconds): host L3 hand-off vs Phi ring hand-off
+#: executed by a slow in-order core.
+_HOP_OUT_OF_ORDER = 0.10 * US
+_HOP_IN_ORDER = 0.55 * US
+
+
+def sync_hop(proc: ProcessorSpec) -> float:
+    """One thread-to-thread cache-line hand-off on ``proc``."""
+    return _HOP_IN_ORDER if proc.core.in_order else _HOP_OUT_OF_ORDER
+
+
+def _rounds(n_threads: int) -> int:
+    return max(1, math.ceil(math.log2(n_threads))) if n_threads > 1 else 1
+
+
+def construct_overhead(construct: str, proc: ProcessorSpec, n_threads: int) -> float:
+    """EPCC overhead (seconds) of ``construct`` at ``n_threads`` on ``proc``."""
+    if construct not in CONSTRUCTS:
+        raise ConfigError(f"unknown OpenMP construct {construct!r}")
+    if n_threads < 1:
+        raise ConfigError("n_threads must be >= 1")
+    hop = sync_hop(proc)
+    r = _rounds(n_threads)
+    barrier = 2.0 * r * hop  # tree gather + release
+    if construct == "BARRIER":
+        return barrier
+    if construct == "DO_FOR":
+        return 1.1 * barrier  # implicit barrier + bounds computation
+    if construct == "SINGLE":
+        return barrier + hop  # barrier + election
+    if construct == "PARALLEL":
+        return 2.2 * barrier  # fork + join ≈ two barriers + team setup
+    if construct == "PARALLEL_FOR":
+        return 2.2 * barrier * 1.1
+    if construct == "REDUCTION":
+        return 2.2 * barrier + 1.5 * r * hop  # parallel + combine tree
+    if construct == "ATOMIC":
+        return 0.6 * hop  # one remote read-modify-write
+    if construct == "CRITICAL":
+        return 4.0 * hop + n_threads * hop / 32.0  # lock + contention
+    if construct == "LOCK_UNLOCK":
+        return 1.1 * (4.0 * hop + n_threads * hop / 32.0)
+    if construct == "ORDERED":
+        return 2.0 * (4.0 * hop + n_threads * hop / 32.0)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def overhead_table(proc: ProcessorSpec, n_threads: int) -> Dict[str, float]:
+    """All construct overheads at once (one Fig 15 bar group)."""
+    return {c: construct_overhead(c, proc, n_threads) for c in CONSTRUCTS}
+
+
+def barrier_cost(proc: ProcessorSpec, n_threads: int) -> float:
+    """Convenience: the BARRIER overhead (used as roofline ``sync_cost``)."""
+    return construct_overhead("BARRIER", proc, n_threads)

@@ -1,0 +1,147 @@
+"""A discrete-event OpenMP thread team.
+
+Threads are simulated processes placed on cores per the affinity policy;
+a core running k threads delivers ``throughput(k)`` of its peak, shared
+equally, so per-thread work stretches by ``k / throughput(k)`` — the
+mechanism behind the Phi's "use 3–4 threads/core, but never expect 4× "
+behaviour.  Barriers are priced with the Fig 15 construct model; DYNAMIC
+scheduling pays its per-chunk fetch.
+
+Usage::
+
+    team = Team(xeon_phi_5110p(), n_threads=177)
+    elapsed = team.parallel_for(lambda i: 1e-6, n_iters=10_000,
+                                schedule="DYNAMIC", chunk=8)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Generator, Optional
+
+from repro.errors import ConfigError
+from repro.machine.core import ThreadScaling
+from repro.machine.spec import ProcessorSpec
+from repro.openmp.affinity import Placement, thread_map
+from repro.openmp.constructs import construct_overhead, sync_hop
+from repro.openmp.scheduling import SCHEDULES, iteration_schedule, n_chunks
+from repro.simcore import Engine, Event, Resource, Timeout
+
+
+class Team:
+    """An OpenMP team of ``n_threads`` on one processor."""
+
+    def __init__(
+        self,
+        proc: ProcessorSpec,
+        n_threads: int,
+        placement: Placement = Placement.BALANCED,
+        engine: Optional[Engine] = None,
+    ):
+        if n_threads < 1:
+            raise ConfigError("n_threads must be >= 1")
+        self.proc = proc
+        self.n_threads = n_threads
+        self.engine = engine or Engine()
+        self.assignment = thread_map(proc, n_threads, placement)
+        self.scaling = ThreadScaling(proc)
+        per_core = Counter(core for core, _ in self.assignment)
+        self._uses_os_core = len(per_core) > proc.usable_cores
+        # Per-thread work stretch: k threads share throughput(k) of a core.
+        self._stretch = {}
+        for tid, (core, _slot) in enumerate(self.assignment):
+            k = per_core[core]
+            stretch = k / self.scaling.throughput(k)
+            if self._uses_os_core:
+                stretch /= proc.os_core_penalty
+            self._stretch[tid] = stretch
+        # Barrier machinery (reusable counting barrier).
+        self._barrier_count = 0
+        self._barrier_event = Event(name="omp.barrier")
+        self._barrier_cost = construct_overhead("BARRIER", proc, n_threads)
+        self._fetch_lock = Resource(1, name="omp.loopcounter")
+
+    # ---------------------------------------------------------- primitives
+
+    def work(self, tid: int, seconds: float) -> Generator:
+        """``seconds`` of full-core-rate work on thread ``tid``."""
+        if seconds < 0:
+            raise ConfigError("work time must be non-negative")
+        yield Timeout(seconds * self._stretch[tid])
+
+    def barrier(self, tid: int) -> Generator:
+        """Team-wide barrier with the Fig 15 cost attached."""
+        self._barrier_count += 1
+        if self._barrier_count == self.n_threads:
+            self._barrier_count = 0
+            ev, self._barrier_event = self._barrier_event, Event(name="omp.barrier")
+            ev.succeed()
+        else:
+            ev = self._barrier_event
+            yield ev
+        yield Timeout(self._barrier_cost)
+
+    def critical(self, tid: int, seconds: float) -> Generator:
+        """A critical section of ``seconds`` of work (serialized)."""
+        from repro.simcore import Acquire
+
+        yield Acquire(self._fetch_lock)
+        yield Timeout(2 * sync_hop(self.proc))  # lock acquire/release
+        yield from self.work(tid, seconds)
+        self._fetch_lock.release()
+
+    # -------------------------------------------------------- parallel for
+
+    def parallel_for(
+        self,
+        iter_cost: Callable[[int], float],
+        n_iters: int,
+        schedule: str = "STATIC",
+        chunk: int = 1,
+    ) -> float:
+        """Run one parallel loop; returns elapsed simulated seconds.
+
+        ``iter_cost(i)`` is iteration ``i``'s single-thread full-core time.
+        """
+        if schedule not in SCHEDULES:
+            raise ConfigError(f"unknown schedule {schedule!r}")
+        per_thread = iteration_schedule(schedule, n_iters, self.n_threads, chunk)
+        fetch = 0.6 * sync_hop(self.proc)
+        chunks_total = n_chunks(schedule, n_iters, self.n_threads, chunk)
+        dynamic = schedule in ("DYNAMIC", "GUIDED")
+
+        def body(tid: int) -> Generator:
+            iters = per_thread[tid]
+            if dynamic and iters:
+                # Each chunk this thread takes pays a contended counter fetch.
+                my_chunks = max(1, round(chunks_total * len(iters) / max(1, n_iters)))
+                yield Timeout(my_chunks * fetch)
+            for i in iters:
+                yield from self.work(tid, iter_cost(i))
+            yield from self.barrier(tid)
+
+        return self.run_region(body)
+
+    def run_region(self, body: Callable[[int], Generator]) -> float:
+        """Fork ``body(tid)`` on every thread, join, return elapsed time."""
+        start = self.engine.now
+        fork_cost = construct_overhead("PARALLEL", self.proc, self.n_threads) / 2.0
+
+        def wrapped(tid: int) -> Generator:
+            yield Timeout(fork_cost)  # team wake-up
+            yield from body(tid)
+
+        for tid in range(self.n_threads):
+            self.engine.spawn(wrapped(tid), name=f"omp.t{tid}")
+        self.engine.run()
+        return self.engine.now - start
+
+    # ----------------------------------------------------------- reporting
+
+    @property
+    def threads_per_core(self) -> int:
+        per_core = Counter(core for core, _ in self.assignment)
+        return max(per_core.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Team {self.n_threads} threads on {self.proc.name}>"

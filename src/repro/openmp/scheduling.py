@@ -1,0 +1,115 @@
+"""OpenMP loop scheduling: overhead models (Figure 16) and exact schedules.
+
+Two layers:
+
+* :func:`scheduling_overhead` — the EPCC scheduling benchmark's cost model:
+  STATIC pays one bounds computation + barrier; DYNAMIC pays a contended
+  atomic chunk fetch per chunk; GUIDED sits in between with its
+  geometrically shrinking chunks.  The Phi's slow synchronization hop makes
+  all three an order of magnitude dearer than on the host.
+
+* :func:`iteration_schedule` — the *semantics*: which thread runs which
+  iterations under each policy.  Property tests verify every iteration is
+  covered exactly once, and the simulated :class:`~repro.openmp.runtime.Team`
+  executes these schedules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.machine.spec import ProcessorSpec
+from repro.openmp.constructs import construct_overhead, sync_hop
+
+SCHEDULES = ("STATIC", "DYNAMIC", "GUIDED")
+
+
+def _check(policy: str, n_iters: int, n_threads: int, chunk: int) -> None:
+    if policy not in SCHEDULES:
+        raise ConfigError(f"unknown schedule {policy!r}")
+    if n_iters < 0 or n_threads < 1 or chunk < 1:
+        raise ConfigError("invalid schedule parameters")
+
+
+def n_chunks(policy: str, n_iters: int, n_threads: int, chunk: int = 1) -> int:
+    """How many chunk dispatches the policy performs."""
+    _check(policy, n_iters, n_threads, chunk)
+    if n_iters == 0:
+        return 0
+    if policy == "STATIC":
+        return min(n_threads, math.ceil(n_iters / chunk))
+    if policy == "DYNAMIC":
+        return math.ceil(n_iters / chunk)
+    # GUIDED: chunk_i = max(remaining / n_threads, chunk), geometric decay.
+    remaining = n_iters
+    count = 0
+    while remaining > 0:
+        c = max(math.ceil(remaining / n_threads), chunk)
+        remaining -= min(c, remaining)
+        count += 1
+    return count
+
+
+def scheduling_overhead(
+    policy: str,
+    proc: ProcessorSpec,
+    n_threads: int,
+    n_iters: int = 1024,
+    chunk: int = 1,
+) -> float:
+    """EPCC scheduling overhead (seconds) per loop instance.
+
+    STATIC: bounds computation + the implicit barrier.
+    DYNAMIC/GUIDED: each chunk dispatch is a contended atomic fetch on the
+    shared loop counter; with all threads hammering it, roughly a quarter
+    of the fetches serialize on the line owner.
+    """
+    _check(policy, n_iters, n_threads, chunk)
+    barrier = construct_overhead("BARRIER", proc, n_threads)
+    hop = sync_hop(proc)
+    chunks = n_chunks(policy, n_iters, n_threads, chunk)
+    if policy == "STATIC":
+        return 1.2 * barrier
+    fetch = 0.6 * hop  # one atomic RMW per chunk dispatch
+    contended = chunks * fetch / 4.0  # serialized share of the fetch traffic
+    return barrier + contended
+
+
+def iteration_schedule(
+    policy: str, n_iters: int, n_threads: int, chunk: int = 1
+) -> Dict[int, List[int]]:
+    """Thread id → iteration list under ``policy``.
+
+    DYNAMIC/GUIDED are simulated with an idealized round-robin consumer
+    order (deterministic for testing); real interleaving depends on
+    execution speed, which the Team runtime models separately.
+    """
+    _check(policy, n_iters, n_threads, chunk)
+    result: Dict[int, List[int]] = {t: [] for t in range(n_threads)}
+    if n_iters == 0:
+        return result
+    if policy == "STATIC":
+        # OpenMP static: chunks of size `chunk` dealt round-robin.
+        for start in range(0, n_iters, chunk):
+            t = (start // chunk) % n_threads
+            result[t].extend(range(start, min(start + chunk, n_iters)))
+        return result
+    if policy == "DYNAMIC":
+        t = 0
+        for start in range(0, n_iters, chunk):
+            result[t % n_threads].extend(range(start, min(start + chunk, n_iters)))
+            t += 1
+        return result
+    # GUIDED
+    start = 0
+    t = 0
+    while start < n_iters:
+        remaining = n_iters - start
+        c = max(math.ceil(remaining / n_threads), chunk)
+        c = min(c, remaining)
+        result[t % n_threads].extend(range(start, start + c))
+        start += c
+        t += 1
+    return result

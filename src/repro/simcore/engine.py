@@ -1,0 +1,198 @@
+"""The discrete-event engine: virtual clock + process scheduler.
+
+The engine owns a priority queue of pending process resumptions keyed by
+``(time, sequence)``; the sequence number breaks ties FIFO so simulations
+are fully deterministic.  Processes are plain generators; composition uses
+``yield from`` (a subroutine call costs nothing simulated), and
+concurrency uses :meth:`Engine.spawn` plus joining on ``proc.done``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simcore.process import (
+    Acquire,
+    AllOf,
+    Command,
+    Get,
+    Process,
+    Put,
+    Timeout,
+    WaitEvent,
+)
+from repro.simcore.resources import Event
+
+
+class Engine:
+    """Event loop and simulated clock.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time in seconds.  Starts at 0.0 and only moves
+        forward.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[tuple] = []  # (time, seq, proc, value, exc)
+        self._seq = count()
+        self._live: List[Process] = []
+        self._nsteps = 0
+
+    # ------------------------------------------------------------------ API
+
+    def spawn(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Register generator ``gen`` as a process; it starts when ``run`` is called.
+
+        Returns the :class:`Process`, whose ``done`` event/``value`` carry
+        the generator's return value.
+        """
+        if not hasattr(gen, "send"):
+            raise TypeError(f"spawn() needs a generator, got {type(gen).__name__}")
+        proc = Process(self, gen, name=name)
+        self._live.append(proc)
+        self._schedule_step(proc, None)
+        return proc
+
+    def run(self, until: Optional[float] = None, detect_deadlock: bool = True) -> float:
+        """Drain the event queue (up to time ``until`` if given).
+
+        Returns the final simulated time.  If the queue drains while
+        spawned processes are still blocked and ``detect_deadlock`` is
+        true, raises :class:`~repro.errors.DeadlockError` naming them.
+        """
+        while self._queue:
+            t = self._queue[0][0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            t, _seq, proc, value, exc = heapq.heappop(self._queue)
+            if t < self.now:
+                raise SimulationError("time went backwards")  # pragma: no cover
+            self.now = t
+            self._step(proc, value, exc)
+        if detect_deadlock:
+            blocked = [p for p in self._live if not p.finished]
+            if blocked:
+                names = ", ".join(
+                    f"{p.name}({p._blocked_on or 'ready'})" for p in blocked[:8]
+                )
+                more = f" (+{len(blocked) - 8} more)" if len(blocked) > 8 else ""
+                raise DeadlockError(
+                    f"event queue empty with {len(blocked)} blocked process(es): "
+                    f"{names}{more}"
+                )
+        return self.now
+
+    def timeline(self) -> int:
+        """Number of process steps executed so far (a determinism probe)."""
+        return self._nsteps
+
+    # ----------------------------------------------------------- internals
+
+    def _schedule_step(
+        self,
+        proc: Process,
+        value: Any = None,
+        delay: float = 0.0,
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._seq), proc, value, exc)
+        )
+
+    def _step(
+        self, proc: Process, value: Any = None, exc: Optional[BaseException] = None
+    ) -> None:
+        """Resume ``proc`` with ``value`` (or throw ``exc``) and dispatch its next command."""
+        self._nsteps += 1
+        try:
+            if exc is not None:
+                cmd = proc.gen.throw(exc)
+            else:
+                cmd = proc.gen.send(value)
+        except StopIteration as stop:
+            proc._blocked_on = None
+            self._live.remove(proc)
+            proc.done.succeed(stop.value)
+            return
+        self._dispatch(proc, cmd)
+
+    def _dispatch(self, proc: Process, cmd: Any) -> None:
+        # Convenience: yielding a Process or an Event waits on it directly.
+        if isinstance(cmd, Process):
+            cmd = WaitEvent(cmd.done)
+        elif isinstance(cmd, Event):
+            cmd = WaitEvent(cmd)
+
+        if isinstance(cmd, Timeout):
+            proc._blocked_on = "timeout"
+            self._schedule_step(proc, cmd.value, delay=cmd.delay)
+        elif isinstance(cmd, WaitEvent):
+            ev = cmd.event
+            if ev.triggered:
+                self._schedule_step(proc, ev.value)
+            else:
+                proc._blocked_on = f"event:{ev.name}"
+                ev._waiters.append(proc)
+        elif isinstance(cmd, AllOf):
+            self._dispatch_allof(proc, cmd)
+        elif isinstance(cmd, Get):
+            store = cmd.store
+            idx = store._match(cmd.filter)
+            if idx is not None:
+                self._schedule_step(proc, store._take(idx))
+            else:
+                proc._blocked_on = f"get:{store.name}"
+                store._getters.append((proc, cmd.filter))
+        elif isinstance(cmd, Put):
+            store = cmd.store
+            if not store._offer(cmd.item):
+                store.items.append(cmd.item)
+            self._schedule_step(proc, None)
+        elif isinstance(cmd, Acquire):
+            res = cmd.resource
+            if res.available > 0:
+                res.in_use += 1
+                self._schedule_step(proc, None)
+            else:
+                proc._blocked_on = f"acquire:{res.name}"
+                res._waiters.append(proc)
+        elif isinstance(cmd, Command):  # pragma: no cover - future commands
+            raise SimulationError(f"unhandled command {cmd!r}")
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded non-command {cmd!r}; "
+                "did you mean 'yield from'?"
+            )
+
+    def _dispatch_allof(self, proc: Process, cmd: AllOf) -> None:
+        events = cmd.events
+        results: List[Any] = [None] * len(events)
+        pending = sum(1 for ev in events if not ev.triggered)
+        for i, ev in enumerate(events):
+            if ev.triggered:
+                results[i] = ev.value
+        if pending == 0:
+            self._schedule_step(proc, results)
+            return
+        proc._blocked_on = f"allof[{pending}]"
+        state = {"left": pending}
+
+        def make_cb(i: int):
+            def cb(value: Any) -> None:
+                results[i] = value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    self._schedule_step(proc, results)
+
+            return cb
+
+        for i, ev in enumerate(events):
+            if not ev.triggered:
+                ev._waiters.append(make_cb(i))

@@ -1,0 +1,136 @@
+"""Process and command objects for the discrete-event engine.
+
+A *process* wraps a generator.  Each ``yield`` hands the engine a
+:class:`Command` describing what the process is waiting for; the engine
+resumes the generator (``send``) with the command's result once it is
+satisfied.  A process finishing (``return value`` / ``StopIteration``)
+triggers its :attr:`Process.done` event, so other processes can join it
+with ``yield WaitEvent(proc.done)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.resources import Event
+
+
+class Command:
+    """Base class for everything a process may ``yield`` to the engine."""
+
+    __slots__ = ()
+
+
+class Timeout(Command):
+    """Suspend the yielding process for ``delay`` simulated seconds.
+
+    ``delay`` must be non-negative; zero is allowed and schedules the
+    process to resume in the current instant after already-queued events.
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay!r})"
+
+
+class WaitEvent(Command):
+    """Suspend until ``event`` is triggered; resumes with the event's value."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WaitEvent({self.event!r})"
+
+
+class AllOf(Command):
+    """Suspend until every event in ``events`` has triggered.
+
+    Resumes with the list of event values in input order.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self.events = list(events)
+
+
+class Get(Command):
+    """Take one item from a :class:`repro.simcore.resources.Store` (FIFO)."""
+
+    __slots__ = ("store", "filter")
+
+    def __init__(self, store, filter=None):
+        self.store = store
+        self.filter = filter
+
+
+class Put(Command):
+    """Deposit ``item`` into a :class:`repro.simcore.resources.Store`."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store, item: Any):
+        self.store = store
+        self.item = item
+
+
+class Acquire(Command):
+    """Acquire one slot of a :class:`repro.simcore.resources.Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource):
+        self.resource = resource
+
+
+class Process:
+    """A running generator on the engine.
+
+    Attributes
+    ----------
+    done:
+        Event triggered when the generator returns; its value is the
+        generator's return value.
+    value:
+        Shortcut for ``done.value`` (``None`` until finished).
+    name:
+        Optional label used in error messages and traces.
+    """
+
+    __slots__ = ("gen", "name", "done", "engine", "_blocked_on")
+
+    def __init__(self, engine, gen: Generator, name: Optional[str] = None):
+        self.engine = engine
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Event(name=f"{self.name}.done")
+        self._blocked_on: Optional[str] = None
+
+    @property
+    def value(self) -> Any:
+        return self.done.value
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def fail(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at its current yield point."""
+        if self.finished:
+            raise SimulationError(f"cannot fail finished process {self.name}")
+        self.engine._step(self, exc=exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else (self._blocked_on or "ready")
+        return f"<Process {self.name} [{state}]>"

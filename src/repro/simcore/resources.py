@@ -1,0 +1,152 @@
+"""Synchronization and queueing primitives for the discrete-event engine.
+
+These objects record which processes are blocked on them; wakeups are
+scheduled through each blocked process's back-reference to its engine.
+All wait queues are FIFO, which makes simulations deterministic — a
+property the test suite checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot level-triggered event.
+
+    Once :meth:`succeed` is called the event stays triggered and any later
+    waiter resumes immediately — the semantics of an MPI request completing
+    or a process finishing.  Waiters may be processes (registered by the
+    engine when they ``yield WaitEvent``) or plain callables (used
+    internally by ``AllOf``).
+    """
+
+    __slots__ = ("name", "triggered", "value", "_waiters")
+
+    def __init__(self, name: str = "event"):
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List[Any] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, waking every current waiter with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            if callable(w):
+                w(value)
+            else:  # a Process
+                w.engine._schedule_step(w, value)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "set" if self.triggered else "unset"
+        return f"<Event {self.name} [{state}]>"
+
+
+class Store:
+    """An unbounded FIFO item store (the channel primitive).
+
+    ``Put`` never blocks; ``Get`` blocks until a matching item is available.
+    An optional per-get ``filter`` predicate supports MPI-style
+    ``(source, tag)`` matching: a getter takes the *first* item in FIFO
+    order that satisfies its predicate, preserving MPI's non-overtaking
+    rule for messages from the same source.
+    """
+
+    __slots__ = ("name", "items", "_getters")
+
+    def __init__(self, name: str = "store"):
+        self.name = name
+        self.items: Deque[Any] = deque()
+        # (process, filter) pairs in arrival order
+        self._getters: Deque[Tuple[Any, Optional[Callable[[Any], bool]]]] = deque()
+
+    def _match(self, flt: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        """Index of the first stored item satisfying ``flt``, else ``None``."""
+        if flt is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if flt(item):
+                return i
+        return None
+
+    def _take(self, idx: int) -> Any:
+        if idx == 0:
+            return self.items.popleft()
+        self.items.rotate(-idx)
+        item = self.items.popleft()
+        self.items.rotate(idx)
+        return item
+
+    def _offer(self, item: Any) -> bool:
+        """Hand ``item`` to the first waiting getter that accepts it.
+
+        Returns True if a getter consumed the item (it is then *not*
+        stored).  Called by the engine on ``Put``.
+        """
+        for i, (proc, flt) in enumerate(self._getters):
+            if flt is None or flt(item):
+                del self._getters[i]
+                proc.engine._schedule_step(proc, item)
+                return True
+        return False
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._getters)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Store {self.name} items={len(self.items)} getters={len(self._getters)}>"
+
+
+class Resource:
+    """A counted resource with ``capacity`` concurrent slots.
+
+    Models contended hardware: memory channels, a PCIe DMA engine, a lock.
+    Acquire with ``yield Acquire(res)``; release synchronously with
+    :meth:`release` (releasing takes no simulated time).  When a slot is
+    released while processes wait, the slot transfers directly to the
+    longest-waiting process (FIFO, no barging).
+    """
+
+    __slots__ = ("name", "capacity", "in_use", "_waiters")
+
+    def __init__(self, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.name = name
+        self.capacity = int(capacity)
+        self.in_use = 0
+        self._waiters: Deque[Any] = deque()  # blocked Process objects
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiters)
+
+    def release(self) -> None:
+        """Free one slot, transferring it to the next waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            proc = self._waiters.popleft()
+            proc.engine._schedule_step(proc, None)  # slot transfers; in_use unchanged
+        else:
+            self.in_use -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Resource {self.name} {self.in_use}/{self.capacity}>"

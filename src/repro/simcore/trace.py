@@ -1,0 +1,106 @@
+"""Lightweight instrumentation for simulations.
+
+:class:`Counter` accumulates named totals (bytes moved, messages sent);
+:class:`TimeSeries` records (time, value) samples; :class:`Monitor`
+bundles both and is what higher layers (MPI runtime, offload engine)
+accept as an optional ``trace`` argument.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+
+class Counter:
+    """Named accumulators: ``counter.add("bytes", 4096)``."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self._totals[key] += amount
+        self._counts[key] += 1
+
+    def total(self, key: str) -> float:
+        return self._totals.get(key, 0.0)
+
+    def count(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def mean(self, key: str) -> float:
+        n = self._counts.get(key, 0)
+        return self._totals.get(key, 0.0) / n if n else 0.0
+
+    def keys(self) -> List[str]:
+        return sorted(self._totals)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+
+class TimeSeries:
+    """A sequence of (time, value) samples with summary statistics."""
+
+    def __init__(self, name: str = "series"):
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((float(time), float(value)))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _ in self.samples]
+
+    def mean(self) -> float:
+        vs = self.values
+        return sum(vs) / len(vs) if vs else 0.0
+
+    def max(self) -> float:
+        vs = self.values
+        return max(vs) if vs else 0.0
+
+    def min(self) -> float:
+        vs = self.values
+        return min(vs) if vs else 0.0
+
+    def time_weighted_mean(self, horizon: float) -> float:
+        """Mean of a piecewise-constant signal held between samples up to ``horizon``."""
+        if not self.samples:
+            return 0.0
+        total = 0.0
+        for (t0, v), (t1, _) in zip(self.samples, self.samples[1:]):
+            total += v * (t1 - t0)
+        t_last, v_last = self.samples[-1]
+        total += v_last * max(0.0, horizon - t_last)
+        span = horizon - self.samples[0][0]
+        return total / span if span > 0 else self.samples[-1][1]
+
+
+class Monitor:
+    """Bundle of counters and time series used as a trace sink."""
+
+    def __init__(self) -> None:
+        self.counters = Counter()
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        ts = self._series.get(name)
+        if ts is None:
+            ts = self._series[name] = TimeSeries(name)
+        return ts
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self.counters.add(key, amount)
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).record(time, value)

@@ -1,0 +1,119 @@
+"""Unit constants and helpers used throughout :mod:`repro`.
+
+All simulator-internal quantities use SI base units:
+
+* time — seconds,
+* data — bytes,
+* rates — bytes/second or flop/second,
+* frequency — hertz.
+
+The constants here exist so that model code reads like the paper
+("latency of 81 ns", "bandwidth of 51.2 GB/s") rather than as a pile of
+bare exponents.  Binary prefixes (``KiB``/``MiB``/``GiB``) are used for
+memory capacities and message sizes; decimal prefixes (``KB``/``MB``/``GB``)
+for bandwidths, matching vendor-datasheet convention (and the paper's).
+"""
+
+from __future__ import annotations
+
+# --- data sizes (binary: capacities, message sizes) ------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# --- data sizes / rates (decimal: bandwidths, marketing capacities) --------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# --- time -------------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+SEC = 1.0
+MINUTE = 60.0
+
+# --- frequency / compute -----------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+MFLOP = 1e6
+GFLOP = 1e9
+TFLOP = 1e12
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    # Bare "k"/"m"/"g" follow the binary convention, matching how message
+    # sizes are quoted in the paper ("8KB" boundaries are powers of two).
+    "k": KiB,
+    "m": MiB,
+    "g": GiB,
+    "t": TiB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size like ``"256KiB"`` or ``"4 MB"`` to bytes.
+
+    Integers/floats pass through (rounded).  Bare ``K``/``M``/``G`` suffixes
+    are binary (``"8K" == 8192``), which is the convention the paper uses for
+    its protocol thresholds (8 KB = 8192 bytes, 256 KB = 262144 bytes).
+
+    >>> parse_size("8K")
+    8192
+    >>> parse_size("4 MB")
+    4000000
+    """
+    if isinstance(text, (int, float)):
+        return int(round(text))
+    s = text.strip().lower().replace(" ", "")
+    i = len(s)
+    while i > 0 and not (s[i - 1].isdigit() or s[i - 1] == "."):
+        i -= 1
+    num, suffix = s[:i], s[i:]
+    if not num:
+        raise ValueError(f"no numeric part in size {text!r}")
+    mult = _SIZE_SUFFIXES.get(suffix or "b")
+    if mult is None:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(round(float(num) * mult))
+
+
+def fmt_size(nbytes: float) -> str:
+    """Format a byte count with a binary prefix (``4.0MiB``)."""
+    nbytes = float(nbytes)
+    for unit, div in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(nbytes) >= div:
+            return f"{nbytes / div:.4g}{unit}"
+    return f"{nbytes:.4g}B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an appropriate SI prefix (``3.3us``)."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.4g}s"
+    if abs(s) >= MS:
+        return f"{s / MS:.4g}ms"
+    if abs(s) >= US:
+        return f"{s / US:.4g}us"
+    return f"{s / NS:.4g}ns"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Format a bandwidth with a decimal prefix (``6.4GB/s``)."""
+    r = float(bytes_per_s)
+    for unit, div in (("GB/s", GB), ("MB/s", MB), ("KB/s", KB)):
+        if abs(r) >= div:
+            return f"{r / div:.4g}{unit}"
+    return f"{r:.4g}B/s"

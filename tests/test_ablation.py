@@ -1,0 +1,73 @@
+"""Tests for the ablation factories: each removes exactly its mechanism."""
+
+import pytest
+
+from repro.ablation import (
+    phi_fabric_uncontended,
+    phi_with_fast_gather,
+    phi_with_full_scalar_ilp,
+    phi_without_bank_thrash,
+    phi_without_os_reservation,
+    post_update_without_scif,
+)
+from repro.core.software import POST_UPDATE
+from repro.machine import Processor, xeon_phi_5110p
+from repro.machine.presets import maia_host_processor
+from repro.execmodel.roofline import kernel_gflops
+from repro.mpi.fabrics import phi_fabric
+from repro.mpi.protocols import PciePathFabric
+from repro.npb.characterization import class_c_kernel
+from repro.units import KiB, MiB
+
+
+class TestAblationFactories:
+    def test_bank_thrash_removed_only(self):
+        full = xeon_phi_5110p()
+        ablated = phi_without_bank_thrash()
+        assert ablated.memory.bank_thrash_factor == 1.0
+        assert ablated.memory.peak_bandwidth == full.memory.peak_bandwidth
+        assert ablated.core == full.core
+
+    def test_stream_drop_vanishes(self):
+        p = Processor(phi_without_bank_thrash())
+        assert p.stream_bandwidth(177) >= p.stream_bandwidth(118)
+
+    def test_scif_disabled_keeps_latency_table(self):
+        stack = post_update_without_scif()
+        f_full = PciePathFabric("host-phi0", POST_UPDATE)
+        f_abl = PciePathFabric("host-phi0", stack)
+        # Same small-message behaviour (latency table intact)...
+        assert f_abl.latency() == pytest.approx(f_full.latency())
+        # ...but no SCIF for large messages.
+        assert f_abl.provider(4 * MiB) == "ccl"
+        assert f_full.provider(4 * MiB) == "scif"
+        assert f_full.bandwidth(4 * MiB) > 2 * f_abl.bandwidth(4 * MiB)
+
+    def test_os_reservation_removed(self):
+        spec = phi_without_os_reservation()
+        assert spec.os_reserved_cores == 0
+        k = class_c_kernel("MG")
+        p = Processor(spec)
+        # 180 threads now use 60 full-speed cores: no 59k-vs-60k penalty.
+        assert kernel_gflops(k, p, 180) >= kernel_gflops(k, p, 177)
+
+    def test_full_scalar_ilp_flips_ep(self):
+        k = class_c_kernel("EP")
+        host = kernel_gflops(k, Processor(maia_host_processor()), 16)
+        phi_full = kernel_gflops(k, Processor(xeon_phi_5110p()), 177)
+        phi_abl = kernel_gflops(k, Processor(phi_with_full_scalar_ilp()), 177)
+        assert phi_full < host < phi_abl
+
+    def test_fast_gather_improves_cg_but_not_enough(self):
+        k = class_c_kernel("CG")
+        host = kernel_gflops(k, Processor(maia_host_processor()), 16)
+        phi_full = kernel_gflops(k, Processor(xeon_phi_5110p()), 177)
+        phi_abl = kernel_gflops(k, Processor(phi_with_fast_gather()), 177)
+        assert phi_abl > 1.2 * phi_full
+        assert phi_abl < host  # the dependent memory path remains
+
+    def test_uncontended_fabric_equals_one_rank_per_core(self):
+        f1 = phi_fabric(1)
+        f4u = phi_fabric_uncontended(4)
+        for n in (1, 8 * KiB, 1 * MiB):
+            assert f4u.p2p_time(n) == pytest.approx(f1.p2p_time(n))

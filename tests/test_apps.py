@@ -1,0 +1,231 @@
+"""Tests for the application proxies: real solver verification and the
+Figure 21–23 reproduction claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import Cart3dModel, Cart3dSolver, OverflowModel, OverflowSolver, dataset
+from repro.apps.datasets import DATASET_SPECS
+from repro.core.software import POST_UPDATE, PRE_UPDATE
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.machine import Device
+from repro.paperdata import (
+    DATASETS,
+    FIG21_CART3D,
+    FIG22_OVERFLOW_NATIVE,
+    FIG23_OVERFLOW_SYMMETRIC,
+)
+
+HOST_CONFIGS = [(16, 1), (8, 2), (4, 4), (2, 8), (1, 16)]
+PHI_CONFIGS = [(4, 14), (4, 28), (8, 14), (8, 28)]
+
+
+# ------------------------------------------------------------------ datasets
+
+
+class TestDatasets:
+    def test_published_shape_parameters(self):
+        large = dataset("DLRF6-Large")
+        assert large.grid_points == DATASETS["DLRF6-Large"]["grid_points"]
+        assert large.n_zones == DATASETS["DLRF6-Large"]["zones"]
+        assert dataset("DLRF6-Medium").grid_points == 10_800_000
+        assert dataset("OneraM6").grid_points == 6_000_000
+
+    def test_zone_sizes_sum_exactly(self):
+        for name in ("DLRF6-Large", "DLRF6-Medium"):
+            g = dataset(name)
+            assert sum(g.zone_sizes) == g.grid_points
+
+    def test_zone_distribution_is_lumpy(self):
+        g = dataset("DLRF6-Large")
+        assert g.largest_zone_share() > 0.1  # a dominant near-body zone
+        assert min(g.zone_sizes) < 0.02 * g.grid_points
+
+    def test_deterministic_generation(self):
+        a = dataset("DLRF6-Large").zone_sizes
+        b = dataset("DLRF6-Large").zone_sizes
+        assert a == b
+
+    def test_large_case_exceeds_phi_memory(self):
+        # "the DLRF6-Large case is too large to run on a single Phi"
+        assert dataset("DLRF6-Large").footprint > 8 * 2**30
+        assert dataset("DLRF6-Medium").footprint < 8 * 2**30
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigError):
+            dataset("DLRF6-Gigantic")
+
+
+# --------------------------------------------------------------- real solvers
+
+
+class TestRealSolvers:
+    def test_overflow_multizone_mms(self):
+        assert OverflowSolver(n=16, n_zones=4, steps=8).verify()
+
+    def test_overflow_zone_count_must_divide(self):
+        with pytest.raises(ConfigError):
+            OverflowSolver(n=16, n_zones=5)
+
+    def test_overflow_more_zones_same_answer(self):
+        # Zone decomposition must not change the numerics.
+        e1 = OverflowSolver(n=16, n_zones=1, steps=4).run()["mms_error"]
+        e4 = OverflowSolver(n=16, n_zones=4, steps=4).run()["mms_error"]
+        assert e1 == pytest.approx(e4, rel=1e-10)
+
+    def test_cart3d_conservation(self):
+        r = Cart3dSolver(n=12).run(steps=8)
+        assert r["mass_drift"] < 1e-12
+        assert r["energy_drift"] < 1e-12
+        assert r["momentum_drift"] < 1e-12
+
+    def test_cart3d_positivity(self):
+        r = Cart3dSolver(n=12).run(steps=8)
+        assert r["min_density"] > 0
+        assert r["min_pressure"] > 0
+
+    def test_cart3d_pulse_spreads(self):
+        solver = Cart3dSolver(n=12)
+        U = solver.initial_state()
+        peak0 = U[0].max()
+        for _ in range(8):
+            U, _ = solver.step(U)
+        assert U[0].max() < peak0  # acoustic pulse disperses
+
+    @given(st.integers(min_value=6, max_value=14))
+    @settings(max_examples=5, deadline=None)
+    def test_cart3d_conserves_at_any_resolution(self, n):
+        r = Cart3dSolver(n=n).run(steps=3)
+        assert r["mass_drift"] < 1e-12
+
+
+# ----------------------------------------------------------- Fig 21 (Cart3D)
+
+
+class TestFig21:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return Cart3dModel().figure21()
+
+    def test_host_twice_best_phi(self, fig):
+        best_phi = min(v.time for k, v in fig.items() if k.startswith("phi"))
+        ratio = best_phi / fig["host-16"].time
+        assert ratio == pytest.approx(FIG21_CART3D["host_over_best_phi"], rel=0.1)
+
+    def test_phi_best_at_4_threads_per_core(self, fig):
+        phi = {k: v.time for k, v in fig.items() if k.startswith("phi")}
+        assert min(phi, key=phi.get) == "phi-236"
+
+    def test_phi_monotone_improvement_with_threads(self, fig):
+        times = [fig[f"phi-{59 * k}"].time for k in (1, 2, 3, 4)]
+        assert times == sorted(times, reverse=True)
+
+
+# -------------------------------------------------- Fig 22 (OVERFLOW native)
+
+
+class TestFig22:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return OverflowModel(dataset("DLRF6-Medium"))
+
+    def test_host_best_16x1_worst_1x16(self, model):
+        times = {
+            (i, j): model.native_step(Device.HOST, i, j).time
+            for i, j in HOST_CONFIGS
+        }
+        assert min(times, key=times.get) == FIG22_OVERFLOW_NATIVE["host_best"]
+        assert max(times, key=times.get) == FIG22_OVERFLOW_NATIVE["host_worst"]
+
+    def test_host_time_increases_with_omp_threads(self, model):
+        times = [model.native_step(Device.HOST, i, j).time for i, j in HOST_CONFIGS]
+        assert times == sorted(times)  # 16x1 → 1x16 monotone
+
+    def test_phi_best_8x28_worst_4x14(self, model):
+        times = {
+            (i, j): model.native_step(Device.PHI0, i, j).time
+            for i, j in PHI_CONFIGS
+        }
+        assert min(times, key=times.get) == FIG22_OVERFLOW_NATIVE["phi_best"]
+        assert max(times, key=times.get) == FIG22_OVERFLOW_NATIVE["phi_worst"]
+
+    def test_phi_improves_with_omp_threads(self, model):
+        # "on the Phi, performance increases as the number of OpenMP
+        # threads increases" (fixed rank count).
+        t14 = model.native_step(Device.PHI0, 8, 14).time
+        t28 = model.native_step(Device.PHI0, 8, 28).time
+        assert t28 < t14
+
+    def test_best_phi_1_8x_slower_than_best_host(self, model):
+        best_h = min(model.native_step(Device.HOST, i, j).time for i, j in HOST_CONFIGS)
+        best_p = min(model.native_step(Device.PHI0, i, j).time for i, j in PHI_CONFIGS)
+        assert best_p / best_h == pytest.approx(
+            FIG22_OVERFLOW_NATIVE["host_over_phi_best"], rel=0.12
+        )
+
+    def test_large_case_oom_on_phi(self):
+        big = OverflowModel(dataset("DLRF6-Large"))
+        with pytest.raises(OutOfMemoryError):
+            big.native_step(Device.PHI0, 8, 28)
+
+    def test_invalid_decomposition_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.native_step(Device.HOST, 0, 4)
+        with pytest.raises(ConfigError):
+            model.native_step(Device.HOST, 8, 16)  # 128 > 32 contexts
+
+
+# ------------------------------------------------ Fig 23 (OVERFLOW symmetric)
+
+
+class TestFig23:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return OverflowModel(dataset("DLRF6-Large"))
+
+    @pytest.fixture(scope="class")
+    def runs(self, model):
+        return {
+            "host": model.native_step(Device.HOST, 16, 1).time,
+            "sym_post": model.symmetric_step(POST_UPDATE),
+            "sym_pre": model.symmetric_step(PRE_UPDATE),
+            "two_hosts": model.two_host_step(),
+        }
+
+    def test_symmetric_1_9x_faster_than_host_native(self, runs):
+        speedup = runs["host"] / runs["sym_post"]["total"]
+        assert speedup == pytest.approx(
+            FIG23_OVERFLOW_SYMMETRIC["speedup_vs_host_native"], rel=0.08
+        )
+
+    def test_post_update_gain_in_band(self, runs):
+        gain = runs["sym_pre"]["total"] / runs["sym_post"]["total"] - 1.0
+        lo, hi = FIG23_OVERFLOW_SYMMETRIC["postupdate_gain_pct"]
+        assert lo / 100 <= gain <= hi / 100
+
+    def test_symmetric_worse_than_two_hosts(self, runs):
+        assert runs["sym_post"]["total"] > runs["two_hosts"]["total"]
+
+    def test_compute_parts_15pct_faster_than_two_hosts(self, runs):
+        adv = (
+            runs["two_hosts"]["ideal_compute"]
+            / runs["sym_post"]["ideal_compute"]
+        )
+        assert adv == pytest.approx(
+            FIG23_OVERFLOW_SYMMETRIC["compute_part_speedup_vs_two_hosts"], abs=0.05
+        )
+
+    def test_imbalance_and_comm_are_the_overheads(self, runs):
+        sym = runs["sym_post"]
+        assert sym["imbalance"] > 1.05  # the mis-estimated partition
+        assert sym["comm"] > 0
+        # Overheads account for the gap to ideal.
+        assert sym["total"] > sym["ideal_compute"]
+
+    def test_pre_update_only_changes_comm(self, runs):
+        assert runs["sym_pre"]["compute_only"] == pytest.approx(
+            runs["sym_post"]["compute_only"]
+        )
+        assert runs["sym_pre"]["comm"] > runs["sym_post"]["comm"]

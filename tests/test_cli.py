@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        rc, out = run_cli(capsys, "table1")
+        assert rc == 0
+        assert "301.4" in out  # paper's total peak
+        assert "model" in out
+
+    @pytest.mark.parametrize("number", [4, 7, 10, 15, 17, 19, 22, 24, 26])
+    def test_single_figures(self, capsys, number):
+        rc, out = run_cli(capsys, "figure", str(number))
+        assert rc == 0
+        assert f"Figure" in out
+
+    def test_figure_out_of_range_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "99"])
+
+    def test_npb_subset(self, capsys):
+        rc, out = run_cli(capsys, "npb", "--problem", "S", "--benchmarks", "CG,IS")
+        assert rc == 0
+        assert out.count("VERIFIED") == 2
+        assert "FAILED" not in out
+
+    def test_modes(self, capsys):
+        rc, out = run_cli(capsys, "modes")
+        assert rc == 0
+        assert "native phi 177" in out
+        assert "offload whole" in out
+
+    def test_figures_runs_everything(self, capsys):
+        rc, out = run_cli(capsys, "figures")
+        assert rc == 0
+        # Every figure header appears exactly once (26/27 share a renderer).
+        for n in (4, 9, 14, 18, 21, 23, 25):
+            assert f"Figure {n}" in out
+        assert "Figures 26-27" in out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,128 @@
+"""Cross-layer consistency checks: real measurements vs models, DES vs
+analytic formulas, and engine determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import maia_host_processor, xeon_phi_5110p
+from repro.microbench.memlatency import numpy_pointer_chase
+from repro.microbench.ompbench import simulated_barrier_overhead
+from repro.mpi import Fabric, FabricParams, mpiexec
+from repro.openmp import Team, construct_overhead, scheduling_overhead, sync_hop
+from repro.simcore import Engine, Timeout
+from repro.units import KiB, MiB, US
+
+
+class TestRealMeasurements:
+    """The library measures the machine it runs on, too — the real
+    microbenchmarks must behave like microbenchmarks."""
+
+    def test_pointer_chase_staircase(self):
+        # Cache-resident chases must be faster than memory-resident ones
+        # on any real machine this test runs on.  Compare *raw* per-hop
+        # times (identical interpreter overhead on both sides) and take
+        # the best of several trials — wall-clock noise under a loaded
+        # test machine must not flip the comparison.
+        small = min(
+            numpy_pointer_chase(16 * KiB, hops=60_000, subtract_overhead=False)
+            for _ in range(3)
+        )
+        large = min(
+            numpy_pointer_chase(64 * MiB, hops=60_000, subtract_overhead=False)
+            for _ in range(3)
+        )
+        assert large > small
+
+    def test_pointer_chase_positive_and_sane(self):
+        lat = numpy_pointer_chase(1 * MiB, hops=20_000)
+        assert 0.0 <= lat < 5e-6  # under 5 µs/hop on anything plausible
+
+    def test_rejects_tiny_working_set(self):
+        with pytest.raises(ValueError):
+            numpy_pointer_chase(100)
+
+
+class TestDesVsModelCrossChecks:
+    """The executable runtimes and the closed-form models must agree."""
+
+    def test_team_barrier_matches_model_on_phi(self):
+        proc = xeon_phi_5110p()
+        measured = simulated_barrier_overhead(proc, 118)
+        model = construct_overhead("BARRIER", proc, 118)
+        assert measured == pytest.approx(model, rel=0.5)
+
+    def test_team_dynamic_overhead_tracks_model(self):
+        proc = maia_host_processor()
+        n = 1024
+        t_static = Team(proc, 16).parallel_for(lambda i: 1e-6, n, "STATIC")
+        t_dynamic = Team(proc, 16).parallel_for(lambda i: 1e-6, n, "DYNAMIC")
+        measured_extra = t_dynamic - t_static
+        model_extra = scheduling_overhead("DYNAMIC", proc, 16, n) - (
+            scheduling_overhead("STATIC", proc, 16, n)
+        )
+        # Same order of magnitude: the DES pays the same per-chunk fetches.
+        assert measured_extra == pytest.approx(model_extra, rel=1.0)
+
+    def test_team_critical_serialization_cost(self):
+        proc = maia_host_processor()
+        team = Team(proc, 8)
+        section = 5e-5
+
+        def body(tid):
+            yield from team.critical(tid, section)
+
+        elapsed = team.run_region(body)
+        lock_cost = 2 * sync_hop(proc)
+        expected = 8 * (section + lock_cost)
+        assert elapsed == pytest.approx(expected, rel=0.3)
+
+
+class TestEngineDeterminism:
+    """Identical programs must produce bit-identical schedules."""
+
+    @staticmethod
+    def _run_once(n_procs: int, delays):
+        eng = Engine()
+        log = []
+
+        def p(name, ds):
+            for d in ds:
+                yield Timeout(d)
+                log.append((name, eng.now))
+
+        for i in range(n_procs):
+            eng.spawn(p(i, delays[i % len(delays)]), name=f"p{i}")
+        eng.run()
+        return log, eng.now, eng.timeline()
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=5),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_replays_identically(self, n_procs, delays):
+        a = self._run_once(n_procs, delays)
+        b = self._run_once(n_procs, delays)
+        assert a == b
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_mpi_job_deterministic(self, p):
+        fabric = Fabric(
+            FabricParams(name="t", latency=1 * US, pair_bandwidth=1e9, eager_max=8 * KiB)
+        )
+
+        def main(comm):
+            total = yield from comm.allreduce(comm.rank, nbytes=8)
+            yield from comm.barrier()
+            return total
+
+        r1 = mpiexec(p, fabric, main)
+        r2 = mpiexec(p, fabric, main)
+        assert r1.elapsed == r2.elapsed
+        assert r1.returns == r2.returns

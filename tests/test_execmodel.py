@@ -1,0 +1,196 @@
+"""Tests for the kernel execution model (KernelSpec, vectorize, roofline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.execmodel import (
+    KernelSpec,
+    kernel_gflops,
+    kernel_time,
+    vector_efficiency,
+)
+from repro.machine import Processor, sandy_bridge_processor, xeon_phi_5110p
+from repro.units import GB, GiB
+
+
+def host() -> Processor:
+    return Processor(sandy_bridge_processor(), sockets=2)
+
+
+def phi() -> Processor:
+    return Processor(xeon_phi_5110p())
+
+
+def make_kernel(**kw) -> KernelSpec:
+    base = dict(name="k", flops=1e9, memory_traffic=1e8)
+    base.update(kw)
+    return KernelSpec(**base)
+
+
+# ----------------------------------------------------------------- KernelSpec
+
+
+class TestKernelSpec:
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ConfigError):
+            make_kernel(vector_fraction=1.2)
+        with pytest.raises(ConfigError):
+            make_kernel(vector_fraction=0.8, gather_fraction=0.3)
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ConfigError):
+            make_kernel(flops=-1)
+
+    def test_arithmetic_intensity(self):
+        k = make_kernel(flops=8e9, memory_traffic=1e9)
+        assert k.arithmetic_intensity == pytest.approx(8.0)
+        assert make_kernel(memory_traffic=0).arithmetic_intensity == float("inf")
+
+    def test_scaled_preserves_profile(self):
+        k = make_kernel(vector_fraction=0.7, gather_fraction=0.1)
+        k2 = k.scaled(3.0)
+        assert k2.flops == pytest.approx(3e9)
+        assert k2.memory_traffic == pytest.approx(3e8)
+        assert k2.vector_fraction == k.vector_fraction
+        assert k2.arithmetic_intensity == pytest.approx(k.arithmetic_intensity)
+
+    def test_scalar_fraction_complements(self):
+        k = make_kernel(vector_fraction=0.6, gather_fraction=0.15)
+        assert k.scalar_fraction == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------- vector efficiency
+
+
+class TestVectorEfficiency:
+    def test_fully_vectorized_is_peak(self):
+        k = make_kernel(vector_fraction=1.0)
+        assert vector_efficiency(k, phi().spec.core) == pytest.approx(1.0)
+
+    def test_scalar_kernel_rate_includes_ilp_efficiency(self):
+        # One lane's rate times the core's scalar ILP factor: the Phi's
+        # in-order pipeline reaches 0.4 of its lane rate, the host all of it.
+        k = make_kernel(vector_fraction=0.0)
+        assert vector_efficiency(k, phi().spec.core) == pytest.approx(0.4 / 8)
+        assert vector_efficiency(k, host().spec.core) == pytest.approx(1 / 4)
+
+    def test_phi_punishes_poor_vectorization_more_than_host(self):
+        # Wider SIMD ⇒ bigger relative loss from scalar work (Section 7).
+        k = make_kernel(vector_fraction=0.3)
+        loss_phi = 1 - vector_efficiency(k, phi().spec.core)
+        loss_host = 1 - vector_efficiency(k, host().spec.core)
+        assert loss_phi > loss_host
+
+    def test_gather_scatter_near_scalar_on_phi(self):
+        # Section 6.8.1: vectorized gather/scatter ≈ only 10 % over scalar.
+        gathered = make_kernel(vector_fraction=0.0, gather_fraction=1.0)
+        scalar = make_kernel(vector_fraction=0.0, gather_fraction=0.0)
+        e_g = vector_efficiency(gathered, phi().spec.core)
+        e_s = vector_efficiency(scalar, phi().spec.core)
+        assert e_g / e_s == pytest.approx(1.1, abs=0.05)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_efficiency_in_unit_interval(self, v, g):
+        if v + g > 1.0:
+            v, g = v / (v + g), g / (v + g)
+        k = make_kernel(vector_fraction=v, gather_fraction=min(g, 1.0 - v))
+        for core in (phi().spec.core, host().spec.core):
+            e = vector_efficiency(k, core)
+            assert 0.0 < e <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_more_vectorization_never_hurts(self, v):
+        k_lo = make_kernel(vector_fraction=v)
+        k_hi = make_kernel(vector_fraction=min(1.0, v + 0.01))
+        core = phi().spec.core
+        assert vector_efficiency(k_hi, core) >= vector_efficiency(k_lo, core)
+
+
+# ------------------------------------------------------------------- roofline
+
+
+class TestRoofline:
+    def test_compute_bound_kernel_near_peak(self):
+        # High intensity, fully vectorized, fully parallel ⇒ close to peak.
+        k = make_kernel(flops=1e12, memory_traffic=1e9)
+        g = kernel_gflops(k, phi(), 177)
+        peak = phi().peak_flops / 1e9
+        assert 0.5 * peak < g <= peak
+
+    def test_memory_bound_kernel_tracks_stream(self):
+        k = make_kernel(flops=1e9, memory_traffic=1e12)
+        t = kernel_time(k, phi(), 118)
+        stream_time = 1e12 / phi().stream_bandwidth(118)
+        assert t.bound == "memory"
+        assert t.total == pytest.approx(stream_time, rel=0.05)
+
+    def test_serial_fraction_dominates_on_phi(self):
+        # Section 4.3: serial regions suffer dramatically on the slow Phi core.
+        k_serial = make_kernel(flops=1e10, parallel_fraction=0.5)
+        k_par = make_kernel(flops=1e10, parallel_fraction=1.0)
+        t_serial = kernel_time(k_serial, phi(), 236).total
+        t_par = kernel_time(k_par, phi(), 236).total
+        assert t_serial > 10 * t_par
+
+    def test_footprint_oom_on_phi(self):
+        # The FT case: 10 GB needed, 8 GB present.
+        k = make_kernel(footprint=10 * GB)
+        with pytest.raises(OutOfMemoryError):
+            kernel_time(k, phi(), 118)
+        # Fits on the 32 GiB host.
+        kernel_time(k, host(), 16)
+
+    def test_oom_check_can_be_disabled(self):
+        k = make_kernel(footprint=64 * GiB)
+        kernel_time(k, phi(), 118, check_memory=False)
+
+    def test_grain_limit_caps_utilization(self):
+        k_few = make_kernel(flops=1e11, parallel_grains=32)
+        k_many = make_kernel(flops=1e11, parallel_grains=100000)
+        t_few = kernel_time(k_few, phi(), 236).total
+        t_many = kernel_time(k_many, phi(), 236).total
+        assert t_few > 3 * t_many  # only 32/236 of threads active
+
+    def test_grain_limit_irrelevant_when_ample(self):
+        k = make_kernel(flops=1e11, parallel_grains=10**9)
+        k_none = make_kernel(flops=1e11)
+        assert kernel_time(k, phi(), 236).total == pytest.approx(
+            kernel_time(k_none, phi(), 236).total
+        )
+
+    def test_sync_cost_adds_linearly(self):
+        k = make_kernel(sync_points=100)
+        t0 = kernel_time(k, host(), 16, sync_cost=0.0).total
+        t1 = kernel_time(k, host(), 16, sync_cost=1e-5).total
+        assert t1 - t0 == pytest.approx(100 * 1e-5, rel=1e-6)
+
+    def test_thread_table_override_moves_optimum(self):
+        # A workload preferring 4 threads/core (like BT/Cart3D).
+        table = {1: 0.45, 2: 0.8, 3: 0.92, 4: 1.0}
+        k = make_kernel(flops=1e12, thread_table=table)
+        g236 = kernel_gflops(k, phi(), 236)
+        g177 = kernel_gflops(k, phi(), 177)
+        assert g236 > g177
+
+    def test_default_optimum_is_three_threads_per_core(self):
+        k = make_kernel(flops=1e12)
+        rates = {t: kernel_gflops(k, phi(), t) for t in (59, 118, 177, 236)}
+        assert max(rates, key=rates.get) == 177
+
+    @given(st.integers(min_value=1, max_value=236))
+    @settings(max_examples=40, deadline=None)
+    def test_time_positive_and_finite(self, n):
+        k = make_kernel(vector_fraction=0.5, parallel_fraction=0.9, sync_points=3)
+        t = kernel_time(k, phi(), n, sync_cost=1e-6)
+        assert 0 < t.total < float("inf")
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigError):
+            kernel_time(make_kernel(), phi(), 0)

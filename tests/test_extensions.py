@@ -1,0 +1,102 @@
+"""Tests for the extension features: payload sizing and dual-Phi offload."""
+
+import numpy as np
+import pytest
+
+from repro.core import Evaluator, OffloadRegion
+from repro.core.offload import dual_phi_offload
+from repro.errors import ConfigError
+from repro.execmodel import KernelSpec
+from repro.machine import Device
+from repro.mpi import host_fabric, mpiexec
+from repro.mpi.datatypes import nbytes_of, sized
+from repro.units import MiB
+
+
+class TestNbytesOf:
+    @pytest.mark.parametrize(
+        "payload,expected",
+        [
+            (None, 0),
+            (np.zeros(100), 800),
+            (np.zeros(10, dtype=np.int32), 40),
+            (b"abcd", 4),
+            ("hello", 5),
+            (3.14, 8),
+            (42, 8),
+            (True, 1),
+            (1 + 2j, 16),
+            ([1.0, 2.0, 3.0], 24),
+            ((1, 2, 3, 4), 32),
+            ([np.zeros(4), np.zeros(6)], 80),
+        ],
+    )
+    def test_sizes(self, payload, expected):
+        assert nbytes_of(payload) == expected
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigError):
+            nbytes_of(object())
+
+    def test_mixed_list_rejected(self):
+        with pytest.raises(ConfigError):
+            nbytes_of([1, "two"])
+
+    def test_sized_helper_in_a_send(self):
+        arr = np.arange(64, dtype=np.float64)
+
+        def main(comm):
+            if comm.rank == 0:
+                payload, nbytes = sized(arr)
+                yield from comm.send(1, nbytes=nbytes, payload=payload)
+                return nbytes
+            env = yield from comm.recv(source=0)
+            return env.nbytes
+
+        res = mpiexec(2, host_fabric(), main)
+        assert res.returns == [512, 512]
+
+
+class TestDualPhiOffload:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ev = Evaluator()
+        kernel = KernelSpec(
+            name="work",
+            flops=2e11,
+            memory_traffic=4e10,
+            vector_fraction=0.9,
+            streaming_fraction=0.8,
+        )
+        region = OffloadRegion(
+            "bulk", kernel, data_in=512 * MiB, data_out=256 * MiB, invocations=4
+        )
+        m0 = ev.offload_model(Device.PHI0, n_threads=177)
+        m1 = ev.offload_model(Device.PHI1, n_threads=177)
+        return m0, m1, region
+
+    def test_two_cards_beat_one(self, setup):
+        m0, m1, region = setup
+        result = dual_phi_offload(m0, m1, region)
+        assert result["speedup"] > 1.0
+
+    def test_but_well_under_two(self, setup):
+        # Host marshalling + shared root complex cap the scaling: the
+        # quantitative argument for symmetric mode over dual offload.
+        m0, m1, region = setup
+        result = dual_phi_offload(m0, m1, region)
+        assert result["speedup"] < 1.9
+
+    def test_transfer_heavy_region_scales_worse(self, setup):
+        m0, m1, region = setup
+        chatty = OffloadRegion(
+            "chatty",
+            KernelSpec(name="k", flops=1e9, memory_traffic=1e9),
+            data_in=512 * MiB,
+            data_out=512 * MiB,
+            invocations=16,
+        )
+        chatty_speedup = dual_phi_offload(m0, m1, chatty)["speedup"]
+        bulk_speedup = dual_phi_offload(m0, m1, region)["speedup"]
+        assert chatty_speedup < bulk_speedup
+        assert chatty_speedup < 1.45  # marshalling serializes

@@ -1,0 +1,104 @@
+"""Tests for hybrid MPI×OpenMP execution (the OVERFLOW execution shape)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hybrid import HybridJob, RankTeam, rank_subprocessor
+from repro.machine import maia_host_processor, xeon_phi_5110p
+from repro.mpi import host_fabric, phi_fabric
+
+
+def simple_main(steps=3, work=1e-6, iters=100):
+    def main(comm, team):
+        total = 0.0
+        for _ in range(steps):
+            yield from team.parallel_for_region(lambda i: work, iters)
+            total = yield from comm.allreduce(1.0)
+        return total
+
+    return main
+
+
+class TestRankSubprocessor:
+    def test_phi_8_ranks_get_7_cores_each(self):
+        sub = rank_subprocessor(xeon_phi_5110p(), 8)
+        assert sub.n_cores == 7  # 59 usable // 8
+        assert sub.os_reserved_cores == 0
+
+    def test_single_rank_keeps_usable_cores(self):
+        sub = rank_subprocessor(xeon_phi_5110p(), 1)
+        assert sub.n_cores == 59
+
+    def test_8x28_lands_at_4_threads_per_core(self):
+        # The paper's best OVERFLOW decomposition on the Phi.
+        job = HybridJob(8, 28, xeon_phi_5110p(), phi_fabric(4))
+        assert job.threads_per_core == 4
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ConfigError):
+            rank_subprocessor(xeon_phi_5110p(), 0)
+
+
+class TestHybridJob:
+    def test_runs_and_synchronizes(self):
+        job = HybridJob(4, 4, maia_host_processor(), host_fabric())
+        res = job.run(simple_main())
+        assert res.returns == [4.0] * 4  # the allreduce of 1.0 over 4 ranks
+        assert res.elapsed > 0
+
+    def test_more_omp_threads_speed_up_the_loop(self):
+        t1 = HybridJob(2, 1, maia_host_processor(), host_fabric()).run(
+            simple_main(steps=1, work=1e-5, iters=800)
+        ).elapsed
+        t4 = HybridJob(2, 4, maia_host_processor(), host_fabric()).run(
+            simple_main(steps=1, work=1e-5, iters=800)
+        ).elapsed
+        assert t4 < t1 / 2
+
+    def test_phi_hybrid_slower_than_host_hybrid(self):
+        # Same program: 4 ranks x 4 threads; the Phi's slow cores and
+        # fabric both bite.
+        args = dict(steps=2, work=2e-6, iters=400)
+        t_host = HybridJob(4, 4, maia_host_processor(), host_fabric()).run(
+            simple_main(**args)
+        ).elapsed
+        t_phi = HybridJob(4, 4, xeon_phi_5110p(), phi_fabric(1)).run(
+            simple_main(**args)
+        ).elapsed
+        assert t_phi > t_host
+
+    def test_thread_budget_enforced(self):
+        with pytest.raises(ConfigError):
+            HybridJob(8, 64, xeon_phi_5110p(), phi_fabric(4))
+
+    def test_teams_are_isolated_between_ranks(self):
+        # Two ranks' barriers must not entangle: a rank with more work
+        # should not block the other's team barrier.
+        def main(comm, team):
+            work = 1e-5 if comm.rank == 0 else 1e-7
+            yield from team.parallel_for_region(lambda i: work, 50)
+            return comm.now
+
+        job = HybridJob(2, 4, maia_host_processor(), host_fabric())
+        res = job.run(main)
+        assert res.returns[1] < res.returns[0]  # rank 1 finished earlier
+
+    def test_overflow_shape_ordering(self):
+        # 8x28 (224 threads) should beat 4x14 (56 threads) per step —
+        # Fig 22's Phi ordering, reproduced by the executable runtime.
+        def make(ranks, threads):
+            def main(comm, team):
+                # fixed total work split over ranks
+                iters = 4720 // ranks
+                yield from team.parallel_for_region(lambda i: 1e-5, iters)
+                yield from comm.barrier()
+
+            return main
+
+        t_8x28 = HybridJob(8, 28, xeon_phi_5110p(), phi_fabric(4)).run(
+            make(8, 28)
+        ).elapsed
+        t_4x14 = HybridJob(4, 14, xeon_phi_5110p(), phi_fabric(1)).run(
+            make(4, 14)
+        ).elapsed
+        assert t_8x28 < t_4x14

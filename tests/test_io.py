@@ -1,0 +1,89 @@
+"""Tests for the I/O stack (Fig 17): NFS chaining, block-size effects,
+and the host-staging workaround."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.io import SeqRWBenchmark, maia_nfs, workaround_bandwidth
+from repro.paperdata import FIG17_IO
+from repro.units import KiB, MB, MiB
+
+
+class TestFig17Calibration:
+    def test_host_plateaus(self):
+        bench = SeqRWBenchmark()
+        assert bench.plateau("host", "write") == pytest.approx(
+            FIG17_IO["host"]["write"], rel=0.05
+        )
+        assert bench.plateau("host", "read") == pytest.approx(
+            FIG17_IO["host"]["read"], rel=0.05
+        )
+
+    def test_phi_plateaus(self):
+        bench = SeqRWBenchmark()
+        assert bench.plateau("phi0", "write") == pytest.approx(
+            FIG17_IO["phi0"]["write"], rel=0.07
+        )
+        assert bench.plateau("phi0", "read") == pytest.approx(
+            FIG17_IO["phi0"]["read"], rel=0.07
+        )
+
+    def test_host_over_phi_ratios(self):
+        bench = SeqRWBenchmark()
+        w = bench.plateau("host", "write") / bench.plateau("phi0", "write")
+        r = bench.plateau("host", "read") / bench.plateau("phi0", "read")
+        assert w == pytest.approx(FIG17_IO["host_over_phi_write"], rel=0.1)
+        assert r == pytest.approx(FIG17_IO["host_over_phi_read"], rel=0.1)
+
+    def test_phi1_behaves_like_phi0(self):
+        bench = SeqRWBenchmark()
+        assert bench.plateau("phi1", "read") == pytest.approx(
+            bench.plateau("phi0", "read"), rel=0.02
+        )
+
+
+class TestFilesystemModel:
+    def test_small_blocks_penalized(self):
+        view = maia_nfs().phi_view(0)
+        assert view.bandwidth("read", 4 * KiB) < 0.5 * view.bandwidth("read", 8 * MiB)
+
+    @given(st.integers(min_value=1, max_value=64 * MiB))
+    @settings(max_examples=50, deadline=None)
+    def test_bandwidth_monotone_in_block_size(self, bs):
+        view = maia_nfs().host_view()
+        assert view.bandwidth("write", bs) <= view.bandwidth("write", 2 * bs) + 1e-9
+
+    def test_transfer_time_scales_with_size(self):
+        view = maia_nfs().host_view()
+        t1 = view.transfer_time(100 * MiB, "write")
+        t2 = view.transfer_time(200 * MiB, "write")
+        assert t2 > 1.8 * t1
+
+    def test_zero_bytes_free(self):
+        assert maia_nfs().host_view().transfer_time(0, "read") == 0.0
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ConfigError):
+            maia_nfs().host_view().bandwidth("append", 1 * MiB)
+
+    def test_sweep_produces_all_points(self):
+        points = SeqRWBenchmark().run()
+        assert len(points) == 3 * 2 * len(SeqRWBenchmark.DEFAULT_BLOCKS)
+        assert {p.device for p in points} == {"host", "phi0", "phi1"}
+
+
+class TestWorkaround:
+    def test_staging_through_host_beats_native_phi_io(self):
+        # Section 6.6: sending data to the host at 6 GB/s and writing there
+        # vastly outperforms the Phi's 80 MB/s native write path.
+        bench = SeqRWBenchmark()
+        native = bench.plateau("phi0", "write")
+        staged = workaround_bandwidth()
+        assert staged > 2 * native
+
+    def test_staged_rate_bounded_by_host_nfs(self):
+        staged = workaround_bandwidth()
+        host_write = SeqRWBenchmark().plateau("host", "write")
+        assert staged <= host_write

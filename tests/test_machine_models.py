@@ -1,0 +1,271 @@
+"""Tests for cache-walk, memory, threading and PCIe behavioural models.
+
+These pin the machine layer to the paper's Figures 4, 5, 6 and 18 and
+check the model invariants (monotonicity, plateaus, conservation) with
+hypothesis.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.machine import (
+    CacheWalkModel,
+    Device,
+    PcieLink,
+    Processor,
+    ThreadScaling,
+    maia_node,
+    sandy_bridge_processor,
+    xeon_phi_5110p,
+)
+from repro.machine.core import effective_compute_rate, placement
+from repro.machine.memory import NumaDramModel
+from repro.paperdata import FIG4_STREAM, FIG5_LATENCY, FIG6_BANDWIDTH, FIG18_OFFLOAD_BW
+from repro.units import GB, KiB, MiB, NS
+
+
+# ----------------------------------------------------------- cache walk (Fig 5)
+
+
+class TestCacheLatency:
+    def test_host_plateaus_match_paper(self):
+        walk = CacheWalkModel(sandy_bridge_processor())
+        paper = FIG5_LATENCY["host"]
+        # Deep inside each region the model must sit on the paper's plateau.
+        assert walk.latency(16 * KiB) == pytest.approx(paper["L1"], rel=0.02)
+        assert walk.latency(1 * GB) == pytest.approx(paper["MEM"], rel=0.05)
+
+    def test_phi_plateaus_match_paper(self):
+        walk = CacheWalkModel(xeon_phi_5110p())
+        paper = FIG5_LATENCY["phi"]
+        assert walk.latency(16 * KiB) == pytest.approx(paper["L1"], rel=0.02)
+        assert walk.latency(1 * GB) == pytest.approx(paper["MEM"], rel=0.05)
+
+    def test_phi_memory_latency_exceeds_host(self):
+        # Section 7: "the Phi has higher memory latency than Sandy Bridge"
+        host = CacheWalkModel(sandy_bridge_processor())
+        phi = CacheWalkModel(xeon_phi_5110p())
+        for ws in (16 * KiB, 128 * KiB, 64 * MiB, 1 * GB):
+            assert phi.latency(ws) > host.latency(ws)
+
+    def test_fractions_sum_to_one(self):
+        walk = CacheWalkModel(sandy_bridge_processor())
+        for ws in (1 * KiB, 40 * KiB, 300 * KiB, 25 * MiB, 2 * GB):
+            total = sum(f for _, f in walk.level_fractions(ws))
+            assert total == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=1024, max_value=float(4 * GB)),
+        st.floats(min_value=1024, max_value=float(4 * GB)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_latency_monotone_in_working_set(self, a, b):
+        walk = CacheWalkModel(xeon_phi_5110p())
+        lo, hi = sorted((a, b))
+        assert walk.latency(lo) <= walk.latency(hi) * (1 + 1e-12)
+
+    @given(st.floats(min_value=1024, max_value=float(4 * GB)))
+    @settings(max_examples=60, deadline=None)
+    def test_latency_bounded_by_extremes(self, ws):
+        walk = CacheWalkModel(sandy_bridge_processor())
+        lats = [lat for _, lat in walk.plateau_latencies()]
+        assert min(lats) <= walk.latency(ws) <= max(lats)
+
+    def test_rejects_nonpositive_working_set(self):
+        walk = CacheWalkModel(sandy_bridge_processor())
+        with pytest.raises(ConfigError):
+            walk.latency(0)
+
+
+# ------------------------------------------------------ cache bandwidth (Fig 6)
+
+
+class TestCacheBandwidth:
+    @pytest.mark.parametrize("access", ["read", "write"])
+    def test_host_plateaus(self, access):
+        walk = CacheWalkModel(sandy_bridge_processor())
+        paper = FIG6_BANDWIDTH["host"][access]
+        assert walk.bandwidth(16 * KiB, access) == pytest.approx(paper["L1"], rel=0.02)
+        assert walk.bandwidth(1 * GB, access) == pytest.approx(paper["MEM"], rel=0.05)
+
+    @pytest.mark.parametrize("access", ["read", "write"])
+    def test_phi_plateaus(self, access):
+        walk = CacheWalkModel(xeon_phi_5110p())
+        paper = FIG6_BANDWIDTH["phi"][access]
+        assert walk.bandwidth(16 * KiB, access) == pytest.approx(paper["L1"], rel=0.02)
+        assert walk.bandwidth(1 * GB, access) == pytest.approx(paper["MEM"], rel=0.05)
+
+    def test_host_per_core_bandwidth_dwarfs_phi(self):
+        host = CacheWalkModel(sandy_bridge_processor())
+        phi = CacheWalkModel(xeon_phi_5110p())
+        # Per-core, the host moves ~7× more data at every working-set size.
+        for ws in (16 * KiB, 1 * MiB, 1 * GB):
+            assert host.bandwidth(ws, "read") > 5 * phi.bandwidth(ws, "read")
+
+    @given(
+        st.floats(min_value=1024, max_value=float(4 * GB)),
+        st.floats(min_value=1024, max_value=float(4 * GB)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bandwidth_monotone_nonincreasing(self, a, b):
+        walk = CacheWalkModel(sandy_bridge_processor())
+        lo, hi = sorted((a, b))
+        assert walk.bandwidth(lo, "read") >= walk.bandwidth(hi, "read") * (1 - 1e-12)
+
+    def test_bad_access_kind_rejected(self):
+        walk = CacheWalkModel(sandy_bridge_processor())
+        with pytest.raises(ConfigError):
+            walk.bandwidth(1 * MiB, "modify")
+
+
+# ------------------------------------------------------------- STREAM (Fig 4)
+
+
+class TestStream:
+    def test_phi_stream_matches_paper_points(self):
+        phi = Processor(xeon_phi_5110p())
+        for threads, bw in FIG4_STREAM["phi_bw_by_threads"].items():
+            assert phi.stream_bandwidth(threads) == pytest.approx(bw, rel=0.05)
+
+    def test_phi_drop_is_the_bank_limit(self):
+        phi = Processor(xeon_phi_5110p())
+        banks = FIG4_STREAM["gddr5_open_banks"]
+        assert phi.stream_bandwidth(banks) > phi.stream_bandwidth(banks + 1)
+
+    def test_host_stream_saturates_then_ht_hurts_slightly(self):
+        host = Processor(sandy_bridge_processor(), sockets=2)
+        b16 = host.stream_bandwidth(16)
+        # Two-socket E5-2670 sustains well under peak 102.4 GB/s.
+        assert 60 * GB < b16 < 90 * GB
+        # 32 threads (HyperThreading) cost ~6 % in conflict misses.
+        assert host.stream_bandwidth(32) == pytest.approx(0.94 * b16, rel=1e-6)
+
+    def test_phi_aggregate_beats_host_aggregate(self):
+        # Fig 4: Phi's 180 GB/s is above the host's ~77 GB/s.
+        host = Processor(sandy_bridge_processor(), sockets=2)
+        phi = Processor(xeon_phi_5110p())
+        assert phi.stream_bandwidth(59) > 2 * host.stream_bandwidth(16)
+
+    @given(st.integers(min_value=1, max_value=240))
+    @settings(max_examples=60, deadline=None)
+    def test_stream_bandwidth_capped_by_sustained(self, t):
+        phi = Processor(xeon_phi_5110p())
+        assert phi.stream_bandwidth(t) <= phi.sustained_memory_bandwidth + 1e-6
+
+    def test_numa_model_splits_threads(self):
+        host = Processor(sandy_bridge_processor(), sockets=2)
+        assert isinstance(host._memory, NumaDramModel)
+        # One thread only drives one socket.
+        assert host.stream_bandwidth(1) < host.sustained_memory_bandwidth / 2
+
+
+# --------------------------------------------------------- threading / cores
+
+
+class TestThreadScaling:
+    def test_phi_single_thread_is_half_issue_rate(self):
+        scaling = ThreadScaling(xeon_phi_5110p())
+        assert scaling.throughput(1) == pytest.approx(0.5)
+
+    def test_phi_best_is_three_threads(self):
+        scaling = ThreadScaling(xeon_phi_5110p())
+        assert scaling.best_threads_per_core() == 3
+
+    def test_host_ht_slightly_hurts(self):
+        scaling = ThreadScaling(sandy_bridge_processor())
+        assert scaling.throughput(2) < scaling.throughput(1)
+
+    def test_out_of_range_threads_rejected(self):
+        scaling = ThreadScaling(xeon_phi_5110p())
+        with pytest.raises(ConfigError):
+            scaling.throughput(5)
+
+    def test_placement_59_threads_uses_59_cores(self):
+        phi = xeon_phi_5110p()
+        cores, tpc, os_core = placement(phi, 59)
+        assert (cores, tpc, os_core) == (59, 1, False)
+
+    def test_placement_60_threads_spills_to_os_core(self):
+        phi = xeon_phi_5110p()
+        cores, tpc, os_core = placement(phi, 60)
+        assert os_core
+
+    def test_placement_236_threads(self):
+        phi = xeon_phi_5110p()
+        cores, tpc, os_core = placement(phi, 236)
+        assert (cores, tpc, os_core) == (59, 4, False)
+
+    def test_59x_beats_60x_thread_counts(self):
+        # Section 6.9.1.5: 59/118/177/236 threads beat 60/120/180/240.
+        phi = xeon_phi_5110p()
+        for k in (1, 2, 3, 4):
+            good = effective_compute_rate(phi, 59 * k)
+            bad = effective_compute_rate(phi, 60 * k)
+            assert good > bad, f"{59 * k} threads should beat {60 * k}"
+
+    def test_compute_rate_peaks_at_177_for_default_table(self):
+        phi = xeon_phi_5110p()
+        rates = {t: effective_compute_rate(phi, t) for t in (59, 118, 177, 236)}
+        assert max(rates, key=rates.get) == 177
+
+
+# ----------------------------------------------------------------- PCIe (Fig 18)
+
+
+class TestPcie:
+    def test_framing_efficiencies_match_section_6_7(self):
+        node = maia_node()
+        spec = node.link(Device.HOST, Device.PHI0).spec
+        eff64 = 64 / (64 + spec.tlp_overhead)
+        eff128 = 128 / (128 + spec.tlp_overhead)
+        assert eff64 == pytest.approx(FIG18_OFFLOAD_BW["framing"][64], abs=0.01)
+        assert eff128 == pytest.approx(FIG18_OFFLOAD_BW["framing"][128], abs=0.01)
+
+    def test_large_transfer_bandwidth_is_6_4_gbs(self):
+        node = maia_node()
+        link = node.link(Device.HOST, Device.PHI0)
+        bw = link.bandwidth(256 * MiB)
+        assert bw == pytest.approx(FIG18_OFFLOAD_BW["large_transfer_bw"], rel=0.03)
+
+    def test_phi0_faster_than_phi1_by_3pct(self):
+        node = maia_node()
+        bw0 = node.link(Device.HOST, Device.PHI0).bandwidth(64 * MiB)
+        bw1 = node.link(Device.HOST, Device.PHI1).bandwidth(64 * MiB)
+        assert bw0 / bw1 == pytest.approx(FIG18_OFFLOAD_BW["phi0_over_phi1"], abs=0.01)
+
+    def test_dip_at_64kib(self):
+        node = maia_node()
+        link = node.link(Device.HOST, Device.PHI0)
+        at_dip = link.bandwidth(64 * KiB)
+        before = link.bandwidth(16 * KiB)
+        after = link.bandwidth(512 * KiB)
+        assert at_dip < after  # recovers past the dip
+        assert link._dip_factor(64 * KiB) < link._dip_factor(512 * KiB)
+        assert before < after  # small transfers still pay setup latency
+
+    def test_small_transfers_latency_bound(self):
+        node = maia_node()
+        link = node.link(Device.HOST, Device.PHI0)
+        assert link.bandwidth(64) < 0.01 * link.peak_bandwidth
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 30),
+        st.integers(min_value=1, max_value=1 << 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_transfer_time_monotone_in_size(self, a, b):
+        link = maia_node().link(Device.HOST, Device.PHI0)
+        lo, hi = sorted((a, b))
+        # With the dip, bandwidth is not monotone, but *time* must be
+        # (more bytes can never be faster) within dip smoothness.
+        t_lo, t_hi = link.transfer_time(lo), link.transfer_time(hi)
+        if lo != hi:
+            assert t_lo <= t_hi * 1.25  # allow the dip's local non-monotonicity
+
+    def test_zero_bytes_costs_setup_only(self):
+        link = maia_node().link(Device.HOST, Device.PHI0)
+        assert link.transfer_time(0) == link.spec.dma_setup_latency

@@ -1,0 +1,182 @@
+"""Unit tests for machine spec dataclasses and the Maia presets (Table 1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import (
+    CacheLevel,
+    CoreSpec,
+    Device,
+    MemorySpec,
+    PcieSpec,
+    ProcessorSpec,
+    maia_node,
+    maia_system,
+    sandy_bridge_processor,
+    xeon_phi_5110p,
+)
+from repro.paperdata import TABLE1
+from repro.units import GB, GiB, KiB, MiB, NS
+
+
+# ---------------------------------------------------------------- validation
+
+
+def test_cache_level_rejects_nonpositive_capacity():
+    with pytest.raises(ConfigError):
+        CacheLevel("L1", 0, 1e-9, 1e9, 1e9)
+
+
+def test_cache_level_rejects_non_power_of_two_line():
+    with pytest.raises(ConfigError):
+        CacheLevel("L1", 32 * KiB, 1e-9, 1e9, 1e9, line_size=48)
+
+
+def test_core_spec_rejects_bad_simd_width():
+    with pytest.raises(ConfigError):
+        CoreSpec(
+            frequency=1e9,
+            flops_per_cycle=4,
+            simd_width_bits=384,
+            hw_threads=1,
+            in_order=False,
+        )
+
+
+def test_processor_spec_requires_increasing_capacities():
+    core = CoreSpec(2.6e9, 8, 256, 2, False)
+    mem = MemorySpec("DDR3", 16 * GiB, 81 * NS, 7.5 * GB, 7.2 * GB, 51.2 * GB, 0.75, 4)
+    with pytest.raises(ConfigError, match="increase outward"):
+        ProcessorSpec(
+            name="bad",
+            n_cores=8,
+            core=core,
+            cache_levels=(
+                CacheLevel("L1", 256 * KiB, 1.5 * NS, 12e9, 10e9),
+                CacheLevel("L2", 32 * KiB, 4.6 * NS, 12e9, 9e9),
+            ),
+            memory=mem,
+        )
+
+
+def test_processor_spec_requires_memory_slower_than_llc():
+    core = CoreSpec(2.6e9, 8, 256, 2, False)
+    mem = MemorySpec("DDR3", 16 * GiB, 1.0 * NS, 7.5 * GB, 7.2 * GB, 51.2 * GB, 0.75, 4)
+    with pytest.raises(ConfigError, match="memory latency"):
+        ProcessorSpec(
+            name="bad",
+            n_cores=8,
+            core=core,
+            cache_levels=(CacheLevel("L1", 32 * KiB, 1.5 * NS, 12e9, 10e9),),
+            memory=mem,
+        )
+
+
+def test_pcie_spec_rejects_unknown_gen():
+    with pytest.raises(ConfigError):
+        PcieSpec(gen=5, lanes=16)
+
+
+# ------------------------------------------------------------ Table 1 values
+
+
+def test_sandy_bridge_per_core_and_chip_peak():
+    sb = sandy_bridge_processor()
+    assert sb.core.peak_flops / 1e9 == pytest.approx(
+        TABLE1["host"]["perf_per_core_gflops"], rel=1e-3
+    )
+    assert sb.peak_flops / 1e9 == pytest.approx(
+        TABLE1["host"]["processor_perf_gflops"], rel=1e-3
+    )
+    assert sb.n_cores == TABLE1["host"]["cores_per_processor"]
+    assert sb.core.hw_threads == TABLE1["host"]["threads_per_core"]
+    assert sb.core.simd_width_bits == TABLE1["host"]["simd_width_bits"]
+
+
+def test_xeon_phi_per_core_and_chip_peak():
+    phi = xeon_phi_5110p()
+    assert phi.core.peak_flops / 1e9 == pytest.approx(
+        TABLE1["phi"]["perf_per_core_gflops"], rel=1e-3
+    )
+    assert phi.peak_flops / 1e9 == pytest.approx(
+        TABLE1["phi"]["processor_perf_gflops"], rel=1e-3
+    )
+    assert phi.n_cores == 60
+    assert phi.core.hw_threads == 4
+    assert phi.max_threads == 240
+
+
+def test_cache_capacities_match_table1():
+    sb = sandy_bridge_processor()
+    phi = xeon_phi_5110p()
+    assert sb.cache_level("L1").capacity == 32 * KiB
+    assert sb.cache_level("L2").capacity == 256 * KiB
+    assert sb.cache_level("L3").capacity == 20 * MiB
+    assert sb.cache_level("L3").shared
+    assert phi.cache_level("L1").capacity == 32 * KiB
+    assert phi.cache_level("L2").capacity == 512 * KiB
+    with pytest.raises(KeyError):
+        phi.cache_level("L3")  # the Phi has no L3
+
+
+def test_total_cache_per_core_ratio_is_5_1():
+    # Section 6.2: host 2.788 MB/core vs Phi 544 KB/core → factor 5.1
+    sb = sandy_bridge_processor()
+    phi = xeon_phi_5110p()
+    assert phi.total_cache_per_core == (32 + 512) * KiB
+    ratio = sb.total_cache_per_core / phi.total_cache_per_core
+    assert ratio == pytest.approx(TABLE1["cache_per_core_ratio"], rel=0.03)
+
+
+def test_node_composition():
+    node = maia_node()
+    assert node.cores(Device.HOST) == 16
+    assert node.cores(Device.PHI0) == 60
+    assert node.max_threads(Device.HOST) == 32
+    assert node.max_threads(Device.PHI1) == 240
+    assert node.memory_capacity(Device.PHI0) == 8 * GiB
+    assert node.memory_capacity(Device.HOST) == 32 * GiB
+
+
+def test_node_peak_flops():
+    node = maia_node()
+    assert node.peak_flops(Device.HOST) / 1e9 == pytest.approx(332.8, rel=1e-3)
+    assert node.peak_flops(Device.PHI0) / 1e9 == pytest.approx(1008.0, rel=1e-3)
+    assert node.total_peak_flops() / 1e12 == pytest.approx(
+        (2 * 166.4 + 2 * 1008.0) / 1000, rel=1e-3
+    )
+
+
+def test_node_link_lookup_is_symmetric():
+    node = maia_node()
+    assert node.link(Device.HOST, Device.PHI0) is node.link(Device.PHI0, Device.HOST)
+    with pytest.raises(ConfigError):
+        node.link(Device.HOST, Device.HOST)
+
+
+def test_system_matches_table1():
+    sys_ = maia_system()
+    s = sys_.summary()
+    assert s["n_nodes"] == 128
+    assert s["total_host_cores"] == TABLE1["system"]["host_cores_total"]
+    assert s["total_phi_cores"] == TABLE1["system"]["phi_cores_total"]
+    assert s["host_peak_tflops"] == pytest.approx(
+        TABLE1["system"]["host_peak_tflops"], rel=0.01
+    )
+    assert s["phi_peak_tflops"] == pytest.approx(
+        TABLE1["system"]["phi_peak_tflops"], rel=0.01
+    )
+    assert s["total_peak_tflops"] == pytest.approx(
+        TABLE1["system"]["total_peak_tflops"], rel=0.01
+    )
+    # 14 % host / 86 % Phi split
+    assert round(s["host_flops_pct"]) == TABLE1["system"]["host_flops_pct"]
+    assert round(s["phi_flops_pct"]) == TABLE1["system"]["phi_flops_pct"]
+
+
+def test_system_hypercube():
+    sys_ = maia_system()
+    assert sys_.hypercube_dimension() == 7
+    assert sys_.hops(0, 0) == 0
+    assert sys_.hops(0, 127) == 7
+    assert sys_.hops(5, 6) == 2  # 0b101 ^ 0b110 = 0b011

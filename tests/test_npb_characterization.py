@@ -1,0 +1,190 @@
+"""Reproduction tests for the NPB characterizations: Figures 19–20 and the
+MG offload/collapse studies (Figs 24–27)."""
+
+import pytest
+
+from repro.core import Evaluator
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.machine import Device
+from repro.npb.characterization import (
+    MPI_BENCHMARKS,
+    OPENMP_BENCHMARKS,
+    class_c_kernel,
+)
+from repro.npb.mg_offload import collapse_gain, collapse_model, offload_regions
+from repro.npb.suite import mpi_figure, openmp_figure
+from repro.paperdata import FIG19_NPB_OMP, FIG20_NPB_MPI, FIG25_MG_MODES
+
+
+@pytest.fixture(scope="module")
+def ev():
+    return Evaluator()
+
+
+@pytest.fixture(scope="module")
+def fig19(ev):
+    """{benchmark: {"host": gflops, tpc: gflops}} from the Fig 19 sweep."""
+    data = {}
+    for b in OPENMP_BENCHMARKS:
+        k = class_c_kernel(b)
+        entry = {"host": ev.native(Device.HOST, k, 16).gflops}
+        for tpc in (1, 2, 3, 4):
+            try:
+                entry[tpc] = ev.native(Device.PHI0, k, 59 * tpc).gflops
+            except OutOfMemoryError:
+                pass
+        data[b] = entry
+    return data
+
+
+class TestFig19:
+    def test_host_beats_phi_except_mg(self, fig19):
+        for b, entry in fig19.items():
+            best_phi = max(v for k, v in entry.items() if k != "host")
+            if b in FIG19_NPB_OMP["host_beats_phi_except"]:
+                assert best_phi > entry["host"], b
+            else:
+                assert entry["host"] > best_phi, b
+
+    def test_bt_best_cg_worst_on_phi(self, fig19):
+        ratios = {
+            b: max(v for k, v in e.items() if k != "host") / e["host"]
+            for b, e in fig19.items()
+        }
+        assert max(ratios, key=ratios.get) == "MG"  # the outright winner
+        without_mg = {b: r for b, r in ratios.items() if b != "MG"}
+        assert max(without_mg, key=without_mg.get) == FIG19_NPB_OMP["best_on_phi"]
+        assert min(ratios, key=ratios.get) == FIG19_NPB_OMP["worst_on_phi"]
+
+    def test_one_thread_per_core_is_minimal(self, fig19):
+        for b, entry in fig19.items():
+            phi = {k: v for k, v in entry.items() if k != "host"}
+            if len(phi) < 2:
+                continue
+            assert min(phi, key=phi.get) == 1, b
+
+    def test_three_threads_per_core_usually_best(self, fig19):
+        best_tpcs = []
+        for b, entry in fig19.items():
+            phi = {k: v for k, v in entry.items() if k != "host"}
+            best_tpcs.append(max(phi, key=phi.get))
+        usual = FIG19_NPB_OMP["usual_best_tpc"]
+        assert best_tpcs.count(usual) >= len(best_tpcs) - 2
+
+    def test_mg_absolute_gflops_match_fig25(self, fig19):
+        mg = fig19["MG"]
+        assert mg["host"] * 1e9 == pytest.approx(
+            FIG25_MG_MODES["host_16thr_gflops"], rel=0.05
+        )
+        assert mg[3] * 1e9 == pytest.approx(
+            FIG25_MG_MODES["phi_177thr_gflops"], rel=0.05
+        )
+
+    def test_host_ht_hurts_mg(self, ev):
+        # Fig 25: 32 host threads (HyperThreading) ≈ 6 % below 16.
+        k = class_c_kernel("MG")
+        g16 = ev.native(Device.HOST, k, 16).gflops
+        g32 = ev.native(Device.HOST, k, 32).gflops
+        assert g32 < g16
+        assert 1.0 - g32 / g16 == pytest.approx(0.06, abs=0.04)
+
+    def test_sweep_helper_covers_all(self):
+        rs = openmp_figure()
+        benchmarks = {m.config["benchmark"] for m in rs}
+        assert benchmarks == set(OPENMP_BENCHMARKS)
+
+
+class TestFig20:
+    def test_ft_absent_due_to_oom(self, ev):
+        k = class_c_kernel("FT", mpi=True)
+        with pytest.raises(OutOfMemoryError):
+            ev.native(Device.PHI0, k, 128)
+        rs = mpi_figure(ev)
+        assert len(rs.where(benchmark="FT")) == 0
+
+    def test_ft_needs_more_than_card_memory(self):
+        k = class_c_kernel("FT", mpi=True)
+        assert k.footprint == FIG20_NPB_MPI["ft_oom"]["needs"]
+        assert k.footprint > FIG20_NPB_MPI["ft_oom"]["has"]
+
+    def test_bt_best_at_225_ranks(self, ev):
+        k = class_c_kernel("BT", mpi=True)
+        runs = {r: ev.native(Device.PHI0, k, r).gflops for r in (64, 121, 169, 225)}
+        assert max(runs, key=runs.get) == 225  # 4 ranks/core
+
+    def test_rank_counts_in_figure(self):
+        rs = mpi_figure()
+        for b in ("CG", "MG", "LU"):
+            ranks = {m.config["ranks"] for m in rs.where(benchmark=b)}
+            assert ranks == {64, 128}
+        for b in ("BT", "SP"):
+            ranks = {m.config["ranks"] for m in rs.where(benchmark=b)}
+            assert ranks == {64, 121, 169, 225}
+
+
+class TestFig24Collapse:
+    def test_collapse_helps_phi_at_all_thread_counts(self):
+        for t in (59, 118, 177, 236):
+            assert collapse_gain("C", t) > 0.03, t
+
+    def test_collapse_hurts_host_slightly(self):
+        gain = collapse_gain("C", 16)
+        assert -0.02 < gain < 0.0
+
+    def test_59_multiples_beat_60_multiples(self, ev):
+        # Section 6.9.1.5: 59/118/177/236 threads ≫ 60/120/180/240.
+        k = class_c_kernel("MG")
+        for m in (1, 2, 3, 4):
+            good = ev.native(Device.PHI0, k, 59 * m).gflops
+            bad = ev.native(Device.PHI0, k, 60 * m).gflops
+            assert good > bad, m
+
+    def test_collapsed_time_is_lower_on_phi(self):
+        assert collapse_model("C", 236, True) < collapse_model("C", 236, False)
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            collapse_model("C", 0, False)
+
+
+class TestFig25To27Offload:
+    @pytest.fixture(scope="class")
+    def reports(self, ev):
+        model = ev.offload_model(n_threads=177)
+        return model.compare(*offload_regions("C").values())
+
+    def test_offload_much_slower_than_native(self, ev, reports):
+        native_phi = ev.native(Device.PHI0, class_c_kernel("MG"), 177)
+        for name, rep in reports.items():
+            gflops = class_c_kernel("MG").flops / rep.total / 1e9
+            assert gflops < native_phi.gflops, name
+
+    def test_loop_worst_whole_best(self, reports):
+        assert reports["loop"].total > reports["subroutine"].total
+        assert reports["subroutine"].total > reports["whole"].total
+
+    def test_overhead_ordering(self, reports):
+        assert (
+            reports["loop"].overhead
+            > reports["subroutine"].overhead
+            > reports["whole"].overhead
+        )
+
+    def test_fig27_invocations_and_data(self, reports):
+        assert reports["loop"].invocations > reports["subroutine"].invocations
+        assert reports["subroutine"].invocations > reports["whole"].invocations
+        assert reports["loop"].total_data > reports["subroutine"].total_data
+        assert reports["subroutine"].total_data > reports["whole"].total_data
+
+    def test_whole_version_transfer_dominated_by_single_shipment(self, reports):
+        whole = reports["whole"]
+        # One invocation: overhead is a one-time cost below the compute
+        # itself (still visible — even the best offload loses to native).
+        assert whole.overhead < whole.kernel_time
+
+    def test_mg_native_phi_beats_native_host_by_27pct(self, ev):
+        k = class_c_kernel("MG")
+        host = ev.native(Device.HOST, k, 16)
+        phi = ev.native(Device.PHI0, k, 177)
+        gain = phi.gflops / host.gflops - 1.0
+        assert gain == pytest.approx(FIG25_MG_MODES["phi_over_host_gain"], abs=0.05)

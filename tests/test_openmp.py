@@ -1,0 +1,243 @@
+"""Tests for the OpenMP layer: affinity, construct overheads (Fig 15),
+scheduling (Fig 16) and the discrete-event team runtime."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.machine import maia_host_processor, xeon_phi_5110p
+from repro.openmp import (
+    CONSTRUCTS,
+    SCHEDULES,
+    Placement,
+    Team,
+    construct_overhead,
+    iteration_schedule,
+    scheduling_overhead,
+    sync_hop,
+    thread_map,
+)
+from repro.openmp.affinity import cores_used, max_threads_per_core
+from repro.openmp.constructs import overhead_table
+from repro.paperdata import FIG15_OMP_SYNC, FIG16_OMP_SCHED
+
+
+HOST = maia_host_processor()
+PHI = xeon_phi_5110p()
+
+
+# ------------------------------------------------------------------ affinity
+
+
+class TestAffinity:
+    def test_balanced_59_threads_on_59_cores(self):
+        amap = thread_map(PHI, 59, Placement.BALANCED)
+        assert cores_used(amap) == 59
+        assert max_threads_per_core(amap) == 1
+
+    def test_balanced_236_threads_4_per_core(self):
+        amap = thread_map(PHI, 236, Placement.BALANCED)
+        assert cores_used(amap) == 59
+        assert max_threads_per_core(amap) == 4
+
+    def test_compact_fills_cores_in_order(self):
+        amap = thread_map(PHI, 8, Placement.COMPACT)
+        assert amap[:4] == [(0, 0), (0, 1), (0, 2), (0, 3)]
+        assert amap[4:] == [(1, 0), (1, 1), (1, 2), (1, 3)]
+
+    def test_scatter_round_robins(self):
+        amap = thread_map(HOST, 4, Placement.SCATTER)
+        assert [c for c, _ in amap] == [0, 1, 2, 3]
+
+    def test_60_threads_spill_to_os_core(self):
+        amap = thread_map(PHI, 60, Placement.BALANCED)
+        assert cores_used(amap) == 60
+
+    @given(st.integers(min_value=1, max_value=236), st.sampled_from(list(Placement)))
+    @settings(max_examples=60, deadline=None)
+    def test_every_thread_gets_a_valid_slot(self, n, policy):
+        amap = thread_map(PHI, n, policy)
+        assert len(amap) == n
+        for core, slot in amap:
+            assert 0 <= core < PHI.n_cores
+            assert 0 <= slot < PHI.core.hw_threads
+
+    def test_too_many_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            thread_map(HOST, 64)
+
+
+# --------------------------------------------------------- constructs (Fig 15)
+
+
+class TestConstructOverheads:
+    def test_phi_order_of_magnitude_higher(self):
+        # Fig 15: "almost all the constructs have almost an order of
+        # magnitude higher overhead on the Phi" (236 vs 16 threads).
+        host = overhead_table(HOST, FIG15_OMP_SYNC["host_threads"])
+        phi = overhead_table(PHI, FIG15_OMP_SYNC["phi_threads"])
+        ratios = [phi[c] / host[c] for c in CONSTRUCTS]
+        assert all(r > 4 for r in ratios)
+        assert sum(ratios) / len(ratios) > 7  # ~an order of magnitude
+
+    @pytest.mark.parametrize("proc,threads", [(HOST, 16), (PHI, 236)])
+    def test_reduction_most_expensive_atomic_least(self, proc, threads):
+        table = overhead_table(proc, threads)
+        assert max(table, key=table.get) == "REDUCTION"
+        assert min(table, key=table.get) == "ATOMIC"
+
+    @pytest.mark.parametrize("proc,threads", [(HOST, 16), (PHI, 236)])
+    def test_parallel_for_and_parallel_next_most_expensive(self, proc, threads):
+        table = overhead_table(proc, threads)
+        ordered = sorted(table, key=table.get, reverse=True)
+        assert ordered[:3] == ["REDUCTION", "PARALLEL_FOR", "PARALLEL"]
+
+    def test_overheads_grow_with_thread_count(self):
+        for c in CONSTRUCTS:
+            assert construct_overhead(c, PHI, 236) >= construct_overhead(c, PHI, 59)
+
+    def test_sync_hop_in_order_premium(self):
+        assert sync_hop(PHI) > 3 * sync_hop(HOST)
+
+    def test_unknown_construct_rejected(self):
+        with pytest.raises(ConfigError):
+            construct_overhead("FLUSH_EVERYTHING", HOST, 16)
+
+    @given(st.sampled_from(CONSTRUCTS), st.integers(min_value=1, max_value=236))
+    @settings(max_examples=60, deadline=None)
+    def test_overheads_positive(self, construct, n):
+        assert construct_overhead(construct, PHI, n) > 0
+
+
+# --------------------------------------------------------- scheduling (Fig 16)
+
+
+class TestScheduling:
+    @pytest.mark.parametrize("proc,threads", [(HOST, 16), (PHI, 236)])
+    def test_static_guided_dynamic_ordering(self, proc, threads):
+        # Fig 16: STATIC lowest, DYNAMIC highest, GUIDED between.
+        o = {
+            s: scheduling_overhead(s, proc, threads, n_iters=1024, chunk=1)
+            for s in SCHEDULES
+        }
+        assert o["STATIC"] < o["GUIDED"] < o["DYNAMIC"]
+
+    def test_phi_order_of_magnitude_higher(self):
+        for s in SCHEDULES:
+            h = scheduling_overhead(s, HOST, 16)
+            p = scheduling_overhead(s, PHI, 236)
+            assert p / h > 5, s
+
+    def test_bigger_chunks_cheapen_dynamic(self):
+        small = scheduling_overhead("DYNAMIC", PHI, 236, n_iters=4096, chunk=1)
+        big = scheduling_overhead("DYNAMIC", PHI, 236, n_iters=4096, chunk=64)
+        assert big < small
+
+    @given(
+        st.sampled_from(SCHEDULES),
+        st.integers(min_value=0, max_value=2000),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_schedule_covers_every_iteration_exactly_once(self, policy, n, p, chunk):
+        sched = iteration_schedule(policy, n, p, chunk)
+        seen = sorted(i for iters in sched.values() for i in iters)
+        assert seen == list(range(n))
+
+    def test_static_deals_chunks_round_robin(self):
+        sched = iteration_schedule("STATIC", 8, 2, chunk=2)
+        assert sched[0] == [0, 1, 4, 5]
+        assert sched[1] == [2, 3, 6, 7]
+
+    def test_guided_chunks_shrink(self):
+        sched = iteration_schedule("GUIDED", 1000, 4, chunk=1)
+        lengths = []
+        # Reconstruct chunk lengths from contiguous runs across threads.
+        all_chunks = []
+        for t, iters in sched.items():
+            run = []
+            for i in iters:
+                if run and i != run[-1] + 1:
+                    all_chunks.append(run)
+                    run = []
+                run.append(i)
+            if run:
+                all_chunks.append(run)
+        all_chunks.sort(key=lambda r: r[0])
+        lengths = [len(r) for r in all_chunks]
+        assert lengths[0] == max(lengths)
+        assert lengths[-1] <= lengths[0]
+
+
+# ------------------------------------------------------------------- runtime
+
+
+class TestTeam:
+    def test_parallel_for_speedup_on_host(self):
+        cost = 1e-5
+        n = 1600
+        t1 = Team(HOST, 1).parallel_for(lambda i: cost, n)
+        t16 = Team(HOST, 16).parallel_for(lambda i: cost, n)
+        assert t16 < t1 / 8  # at least half-ideal speedup at 16 threads
+
+    def test_phi_single_thread_half_rate(self):
+        cost = 1e-5
+        n = 590
+        t_phi1 = Team(PHI, 1).parallel_for(lambda i: cost, n)
+        # stretch = 1/throughput(1) = 2 on the Phi
+        assert t_phi1 == pytest.approx(n * cost * 2, rel=0.1)
+
+    def test_dynamic_costs_more_than_static(self):
+        n = 2360
+        cost = 2e-6
+        t_static = Team(PHI, 59).parallel_for(lambda i: cost, n, schedule="STATIC")
+        t_dynamic = Team(PHI, 59).parallel_for(lambda i: cost, n, schedule="DYNAMIC")
+        assert t_dynamic > t_static
+
+    def test_imbalanced_static_vs_dynamic(self):
+        # One huge iteration among many small: dynamic balances better
+        # when iterations are dealt in fine chunks.
+        n = 64
+
+        def cost(i):
+            return 1e-3 if i == 0 else 1e-6
+
+        t_static = Team(HOST, 16).parallel_for(cost, n, schedule="STATIC", chunk=4)
+        # STATIC round-robins chunks, thread 0 gets the huge one plus more.
+        assert t_static >= 1e-3
+
+    def test_barrier_synchronizes_team(self):
+        team = Team(HOST, 4)
+        arrivals = []
+
+        def body(tid):
+            yield from team.work(tid, 1e-4 * (tid + 1))
+            yield from team.barrier(tid)
+            arrivals.append(team.engine.now)
+
+        team.run_region(body)
+        assert max(arrivals) - min(arrivals) < 1e-9
+
+    def test_59_threads_beat_60_on_phi(self):
+        # Section 6.9.1.5 at the runtime level: the 60th core's OS penalty.
+        cost = 1e-5
+        n = 1180
+        t59 = Team(PHI, 59).parallel_for(lambda i: cost, n)
+        t60 = Team(PHI, 60).parallel_for(lambda i: cost, n)
+        assert t60 > t59
+
+    def test_critical_serializes(self):
+        team = Team(HOST, 8)
+        section = 1e-4
+
+        def body(tid):
+            yield from team.critical(tid, section)
+
+        elapsed = team.run_region(body)
+        assert elapsed >= 8 * section  # fully serialized
+
+    def test_zero_iterations(self):
+        elapsed = Team(HOST, 4).parallel_for(lambda i: 1e-6, 0)
+        assert elapsed > 0  # fork/join + barrier cost only

@@ -1,0 +1,61 @@
+"""Tests for the programmatic validation battery."""
+
+import pytest
+
+from repro.validation import Claim, ClaimSet, render_report, validate_all
+
+
+class TestClaimSet:
+    def test_band_check_with_slack(self):
+        cs = ClaimSet()
+        cs.band("F", "inside", 1.0, 2.0, 1.5)
+        cs.band("F", "edge-with-slack", 1.0, 2.0, 0.9)
+        cs.band("F", "outside", 1.0, 2.0, 3.0)
+        assert [c.passed for c in cs.claims] == [True, True, False]
+
+    def test_approx_check(self):
+        cs = ClaimSet()
+        cs.approx("F", "close", 10.0, 10.4)
+        cs.approx("F", "far", 10.0, 12.0)
+        assert [c.passed for c in cs.claims] == [True, False]
+
+    def test_failures_listed(self):
+        cs = ClaimSet()
+        cs.check("F", "good", "x", "x", True)
+        cs.check("F", "bad", "x", "y", False)
+        assert cs.n_passed == 1
+        assert not cs.all_passed
+        assert [c.statement for c in cs.failures()] == ["bad"]
+
+
+class TestFullBattery:
+    @pytest.fixture(scope="class")
+    def battery(self):
+        return validate_all()
+
+    def test_every_claim_reproduces(self, battery):
+        failing = [f"{c.figure}: {c.statement}" for c in battery.failures()]
+        assert battery.all_passed, failing
+
+    def test_coverage_spans_all_sections(self, battery):
+        figures = {c.figure for c in battery.claims}
+        # At least one claim from each experimental section.
+        for expected in ("Fig 4", "Fig 7", "Fig 15", "Fig 17", "Fig 19",
+                         "Fig 22", "Fig 23", "Fig 25"):
+            assert any(expected in f for f in figures), expected
+
+    def test_battery_is_substantial(self, battery):
+        assert len(battery.claims) >= 35
+
+    def test_report_renders(self, battery):
+        report = render_report(battery)
+        assert "claims reproduced" in report
+        assert "FAIL" not in report
+
+    def test_cli_validate(self, capsys):
+        from repro.cli import main
+
+        rc = main(["validate"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "39/39" in out or "claims reproduced" in out
