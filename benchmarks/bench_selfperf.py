@@ -1,0 +1,73 @@
+"""Self-benchmark harness: times the simulator itself, not the models.
+
+Runs the :mod:`repro.perf.selfbench` campaigns (simulated allreduce at
+16/64/256 ranks, the NPB MG Class C sweep through the evaluation cache,
+the full Fig-22 decomposition campaign, an engine spawn/join storm) and
+writes ``BENCH_selfperf.json`` so the simulator's own performance
+trajectory is tracked across PRs.
+
+Run as a script (mirrors ``python -m repro bench``)::
+
+    PYTHONPATH=src python benchmarks/bench_selfperf.py --quick
+    PYTHONPATH=src python benchmarks/bench_selfperf.py --parallel 4
+
+With ``--parallel N > 1`` the Fig-22 campaign is timed serially *and*
+on the pool; the report records the wall-clock speedup and asserts the
+two result lists are identical.  (Speedup needs real cores: on a
+single-CPU host the pool degrades gracefully to ~1x.)
+
+Under pytest (collected with the other ``bench_*`` figures) it runs the
+quick campaigns as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.perf.selfbench import render_report, run_selfperf
+
+    parser = argparse.ArgumentParser(
+        description="Benchmark the simulator's own performance."
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan sweep campaigns over N pool workers (default: serial)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small grids (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_selfperf.json", metavar="PATH",
+        help="JSON report path ('-' to skip writing)",
+    )
+    args = parser.parse_args(argv)
+
+    output = None if args.output == "-" else args.output
+    report = run_selfperf(workers=args.parallel, quick=args.quick, output=output)
+    print(render_report(report))
+    if output:
+        print(f"\nreport written to {output}")
+    return 0 if report["campaigns"]["fig22"].get("identical", True) else 1
+
+
+def test_selfperf_quick(tmp_path):
+    """Smoke: quick campaigns complete, report well-formed, sims correct."""
+    from repro.perf.selfbench import run_selfperf
+
+    out = tmp_path / "BENCH_selfperf.json"
+    report = run_selfperf(workers=2, quick=True, output=str(out))
+    assert out.exists()
+    c = report["campaigns"]
+    assert all(p["correct"] for p in c["allreduce"]["points"])
+    assert c["mg_sweep"]["identical"]
+    assert c["fig22"]["identical"]
+    assert c["fig22"]["feasible"] == c["fig22"]["points"] == 9
+    assert c["engine_storm"]["engine_steps"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -224,16 +225,20 @@ class OverflowModel:
         return 2 * n_msgs * fabric.p2p_time(msg)
 
     def decomposition_sweep(
-        self, device: Device, configs: List[Tuple[int, int]]
+        self,
+        device: Device,
+        configs: List[Tuple[int, int]],
+        workers: Optional[int] = None,
     ) -> List[Measurement]:
-        """Fig 22's sweep; infeasible points are skipped."""
-        out = []
-        for i, j in configs:
-            try:
-                out.append(self.native_step(device, i, j))
-            except (ConfigError, OutOfMemoryError):
-                continue
-        return out
+        """Fig 22's sweep; infeasible points are skipped.
+
+        ``workers > 1`` prices the grid on a process pool (identical
+        results in identical order — see :mod:`repro.core.sweep`).
+        """
+        from repro.core.sweep import decomposition_sweep as _sweep
+
+        results = _sweep(partial(self.native_step, device), configs, workers=workers)
+        return list(results)
 
     # ----------------------------------------------------- symmetric mode
 

@@ -8,6 +8,7 @@ Commands
 ``npb [--problem S]`` Run the real NPB suite with official verification.
 ``stream``            Model STREAM curves + a real NumPy STREAM on this host.
 ``modes``             NPB MG under the four programming modes.
+``bench``             Self-benchmark the simulator (``--parallel N``, ``--quick``).
 
 The heavy per-figure assertions live in ``benchmarks/``; the CLI renders
 the same data for interactive exploration.
@@ -397,6 +398,17 @@ def _cmd_modes() -> int:
     return 0
 
 
+def _cmd_bench(parallel: int, quick: bool, output: Optional[str]) -> int:
+    from repro.perf.selfbench import render_report, run_selfperf
+
+    report = run_selfperf(workers=parallel, quick=quick, output=output)
+    _print(render_report(report))
+    if output:
+        _print(f"\nreport written to {output}")
+    fig22 = report["campaigns"]["fig22"]
+    return 0 if fig22.get("identical", True) else 1
+
+
 # --------------------------------------------------------------------------
 # entry point
 # --------------------------------------------------------------------------
@@ -422,6 +434,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("stream", help="STREAM model + a real NumPy measurement")
     sub.add_parser("modes", help="MG under the four programming modes")
     sub.add_parser("validate", help="run the full paper-claim battery")
+    p_bench = sub.add_parser(
+        "bench", help="self-benchmark the simulator (repro.perf campaigns)"
+    )
+    p_bench.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan sweep campaigns over N pool workers (default: serial)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", help="small grids (CI smoke mode)"
+    )
+    p_bench.add_argument(
+        "--output", default="BENCH_selfperf.json", metavar="PATH",
+        help="JSON report path ('-' to skip writing)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "table1":
@@ -453,6 +479,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         cs = validate_all()
         _print(render_report(cs))
         return 0 if cs.all_passed else 1
+    if args.command == "bench":
+        output = None if args.output == "-" else args.output
+        return _cmd_bench(args.parallel, args.quick, output)
     return 2  # pragma: no cover
 
 

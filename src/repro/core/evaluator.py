@@ -28,19 +28,38 @@ from repro.machine.node import Device, MaiaNode
 from repro.machine.presets import maia_host_processor, maia_node
 from repro.machine.processor import Processor
 from repro.openmp.constructs import barrier_cost
+from repro.perf.cache import EvalCache, fingerprint
 
 
 class Evaluator:
-    """Runs kernels on a Maia node under the four programming modes."""
+    """Runs kernels on a Maia node under the four programming modes.
+
+    Passing an :class:`~repro.perf.cache.EvalCache` memoizes
+    :meth:`native` and :meth:`offload`: repeated evaluations of the same
+    (machine, kernel, mode, params) point across figures are priced
+    once.  Keys include a fingerprint of the node spec and software
+    stack, so evaluators built over different machines never share
+    entries.
+    """
 
     def __init__(
         self,
         node: Optional[MaiaNode] = None,
         software: SoftwareStack = POST_UPDATE,
+        cache: Optional[EvalCache] = None,
     ):
         self.node = node or maia_node()
         self.software = software
+        self.cache = cache
         self._processors: Dict[Device, Processor] = {}
+        self._machine_key: Optional[str] = None
+
+    @property
+    def machine_fingerprint(self) -> str:
+        """Stable hash of this evaluator's machine spec + software stack."""
+        if self._machine_key is None:
+            self._machine_key = fingerprint(self.node, self.software)
+        return self._machine_key
 
     def processor(self, dev: Device) -> Processor:
         """The device as a Processor facade (host = merged 16-core view)."""
@@ -64,8 +83,26 @@ class Evaluator:
         """Native-mode execution of ``kernel`` on ``dev``.
 
         Synchronization points are priced with the device's barrier
-        overhead at this thread count (Fig 15's model).
+        overhead at this thread count (Fig 15's model).  With a cache
+        attached, repeat evaluations replay the stored measurement.
         """
+        if self.cache is not None:
+            key = self.cache.key(
+                "native", self.machine_fingerprint, kernel,
+                Device(dev).value, n_threads, check_memory,
+            )
+            return self.cache.get_or_compute(
+                key, lambda: self._native_uncached(dev, kernel, n_threads, check_memory)
+            )
+        return self._native_uncached(dev, kernel, n_threads, check_memory)
+
+    def _native_uncached(
+        self,
+        dev: Device,
+        kernel: KernelSpec,
+        n_threads: int,
+        check_memory: bool = True,
+    ) -> Measurement:
         proc = self.processor(dev)
         sync = barrier_cost(proc.spec, n_threads) if kernel.sync_points else 0.0
         t = kernel_time(kernel, proc, n_threads, sync_cost=sync, check_memory=check_memory)
@@ -106,6 +143,22 @@ class Evaluator:
         n_threads: int = 177,
     ) -> Measurement:
         """Offload-mode execution; time covers all invocations."""
+        if self.cache is not None:
+            key = self.cache.key(
+                "offload", self.machine_fingerprint, region,
+                Device(target).value, n_threads,
+            )
+            return self.cache.get_or_compute(
+                key, lambda: self._offload_uncached(region, target, n_threads)
+            )
+        return self._offload_uncached(region, target, n_threads)
+
+    def _offload_uncached(
+        self,
+        region: OffloadRegion,
+        target: Device = Device.PHI0,
+        n_threads: int = 177,
+    ) -> Measurement:
         report: OffloadReport = self.offload_model(target, n_threads).run(region)
         flops = region.kernel.flops * region.invocations
         return Measurement(

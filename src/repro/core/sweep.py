@@ -3,18 +3,43 @@
 Helpers that run an evaluator or cost model over a grid and return a
 :class:`~repro.core.results.ResultSet` — thread counts (Figs 19, 21),
 message sizes (Figs 8–14), (I × J) MPI×OpenMP decompositions (Fig 22).
+
+Every sweep accepts ``workers``: ``None`` (or 1) prices the grid
+serially in-process; ``workers > 1`` fans the grid over a process pool
+via :mod:`repro.perf.parallel` with identical results in identical
+order.  Infeasible points are recognised *only* by the simulator's own
+error types (:data:`INFEASIBLE_ERRORS`) — anything else is a genuine
+bug and propagates, even from pool workers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Sequence, Tuple
+from functools import partial
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    OutOfMemoryError,
+    SimulationError,
+    UnsupportedConfigurationError,
+)
 from repro.core.evaluator import Evaluator
 from repro.core.results import Measurement, ResultSet
 from repro.execmodel.kernel import KernelSpec
 from repro.machine.node import Device
+from repro.perf.parallel import parallel_map
 from repro.units import KiB
+
+#: Error types that mark a sweep point as infeasible (skipped, not fatal):
+#: hardware-faithful failures (out of memory, unsupported rank counts) and
+#: configuration limits (thread counts beyond the device).  A bare
+#: ``except Exception`` here once swallowed genuine bugs as "infeasible".
+INFEASIBLE_ERRORS = (
+    ConfigError,
+    OutOfMemoryError,
+    SimulationError,
+    UnsupportedConfigurationError,
+)
 
 
 def message_size_sweep(
@@ -29,42 +54,95 @@ def message_size_sweep(
     return sizes
 
 
+# --------------------------------------------------------------------------
+# Grid pricing
+# --------------------------------------------------------------------------
+#
+# Point functions live at module level (with ``partial`` for the fixed
+# arguments) so they pickle cleanly into pool workers.
+
+
+def _price_point(
+    run_fn: Callable[..., Measurement],
+    skip_infeasible: bool,
+    point: Any,
+) -> Optional[Measurement]:
+    args = point if isinstance(point, tuple) else (point,)
+    try:
+        return run_fn(*args)
+    except INFEASIBLE_ERRORS:
+        if not skip_infeasible:
+            raise
+        return None
+
+
+def grid_sweep(
+    run_fn: Callable[..., Measurement],
+    points: Iterable[Any],
+    skip_infeasible: bool = True,
+    workers: Optional[int] = None,
+) -> ResultSet:
+    """Price ``run_fn`` over ``points`` (tuples are splatted as arguments).
+
+    The generic sweep behind every figure axis: message sizes, thread
+    counts, decompositions.  Feasible results arrive in grid order.
+    """
+    priced = parallel_map(
+        partial(_price_point, run_fn, skip_infeasible), list(points), workers=workers
+    )
+    return ResultSet(m for m in priced if m is not None)
+
+
+def _native_point(
+    evaluator: Evaluator, kernel: KernelSpec, dev: Device, t: int
+) -> Measurement:
+    return evaluator.native(dev, kernel, t)
+
+
 def thread_sweep(
     evaluator: Evaluator,
     kernel: KernelSpec,
     dev: Device,
     thread_counts: Sequence[int],
     skip_infeasible: bool = True,
+    workers: Optional[int] = None,
 ) -> ResultSet:
     """Native runs over a list of thread counts (Figs 19/21/25 x-axis)."""
-    results = ResultSet()
-    for t in thread_counts:
-        try:
-            results.add(evaluator.native(dev, kernel, t))
-        except Exception:
-            if not skip_infeasible:
-                raise
-    return results
+    return grid_sweep(
+        partial(_native_point, evaluator, kernel, dev),
+        thread_counts,
+        skip_infeasible=skip_infeasible,
+        workers=workers,
+    )
+
+
+def _decomp_point(
+    run_fn: Callable[[int, int], Measurement], i: int, j: int
+) -> Measurement:
+    return run_fn(i, j).with_config(ranks=i, omp_threads=j)
 
 
 def decomposition_sweep(
     run_fn: Callable[[int, int], Measurement],
     decompositions: Iterable[Tuple[int, int]],
+    skip_infeasible: bool = True,
+    workers: Optional[int] = None,
 ) -> ResultSet:
     """(I MPI ranks × J OpenMP threads) sweep (Fig 22's x-axis).
 
     ``run_fn(i, j)`` prices one decomposition; infeasible points raise
-    and are skipped.
+    one of :data:`INFEASIBLE_ERRORS` and are skipped.
     """
-    results = ResultSet()
-    for i, j in decompositions:
+    points = list(decompositions)
+    for i, j in points:
         if i < 1 or j < 1:
             raise ConfigError(f"invalid decomposition {i}x{j}")
-        try:
-            results.add(run_fn(i, j).with_config(ranks=i, omp_threads=j))
-        except Exception:
-            continue
-    return results
+    return grid_sweep(
+        partial(_decomp_point, run_fn),
+        points,
+        skip_infeasible=skip_infeasible,
+        workers=workers,
+    )
 
 
 def phi_thread_counts(threads_per_core: Sequence[int] = (1, 2, 3, 4)) -> List[int]:

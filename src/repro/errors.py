@@ -44,6 +44,11 @@ class OutOfMemoryError(ReproError):
             f"but only {available / 2**30:.2f} GiB is available"
         )
 
+    def __reduce__(self):
+        # Rebuild from the constructor arguments, not the formatted message,
+        # so the error survives the trip back from sweep pool workers.
+        return (type(self), (self.required, self.available, self.what))
+
 
 class UnsupportedConfigurationError(ReproError):
     """A benchmark constraint is violated (e.g. BT/SP need square rank counts)."""

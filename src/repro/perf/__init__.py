@@ -1,0 +1,26 @@
+"""Measurement-campaign performance layer: parallel sweeps + memo cache.
+
+Every figure in the paper is a parameter sweep, and a full reproduction
+re-prices the same (machine, kernel, mode, params) points many times
+across figures.  This package makes the campaign itself fast:
+
+* :mod:`repro.perf.parallel` — a deterministic ``concurrent.futures``
+  fan-out for sweep grids and multi-figure campaigns.
+* :mod:`repro.perf.cache` — a memoized evaluation cache keyed by a
+  stable fingerprint of the full specification, with hit/miss counters.
+* :mod:`repro.perf.selfbench` — the self-benchmark campaigns behind
+  ``repro bench`` and ``benchmarks/bench_selfperf.py``, which track the
+  simulator's own performance trajectory across PRs.
+"""
+
+from repro.perf.cache import CacheStats, EvalCache, fingerprint
+from repro.perf.parallel import default_workers, parallel_map, parallel_tasks
+
+__all__ = [
+    "CacheStats",
+    "EvalCache",
+    "default_workers",
+    "fingerprint",
+    "parallel_map",
+    "parallel_tasks",
+]

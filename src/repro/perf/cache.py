@@ -1,0 +1,210 @@
+"""Memoized model-evaluation cache.
+
+The same (machine, kernel, mode, params) point is priced repeatedly
+across figures — Fig 19 and Fig 25 both evaluate NPB MG native on the
+host and the Phi, every decomposition sweep re-prices its best point,
+and interactive use re-renders whole figures.  All evaluations are pure
+functions of their full specification, so they can be priced once and
+replayed.
+
+Keys are *stable fingerprints*: the specification objects (frozen
+dataclasses, enums, primitive containers) are recursively canonicalised
+into a byte string and hashed with SHA-256.  Object identity never
+enters the key, so two independently built but identical machine specs
+share cache entries — and any change to the machine spec (a different
+node, software stack, or preset parameter) changes the fingerprint and
+invalidates the cached points naturally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = ["CacheStats", "EvalCache", "fingerprint"]
+
+
+# ==========================================================================
+# Stable fingerprints
+# ==========================================================================
+
+
+def _canonical(obj: Any, out: list) -> None:
+    """Append a canonical token stream for ``obj`` to ``out``.
+
+    Handles the vocabulary our specs are written in: primitives, enums,
+    frozen dataclasses, mappings, sequences and plain objects (via their
+    attribute dict).  Floats use ``repr`` so equal values fingerprint
+    equally regardless of how they were computed.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        out.append(f"{type(obj).__name__}:{obj!r};")
+    elif isinstance(obj, float):
+        out.append(f"float:{obj!r};")
+    elif isinstance(obj, Enum):
+        out.append(f"enum:{type(obj).__name__}.{obj.name};")
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        out.append(f"dc:{type(obj).__name__}(")
+        for f in fields(obj):
+            out.append(f"{f.name}=")
+            _canonical(getattr(obj, f.name), out)
+        out.append(");")
+    elif isinstance(obj, dict):
+        out.append("map{")
+        for k in sorted(obj, key=repr):
+            _canonical(k, out)
+            out.append("->")
+            _canonical(obj[k], out)
+        out.append("};")
+    elif isinstance(obj, (tuple, list)):
+        out.append(f"{type(obj).__name__}[")
+        for item in obj:
+            _canonical(item, out)
+        out.append("];")
+    elif isinstance(obj, (set, frozenset)):
+        out.append("set{")
+        for item in sorted(obj, key=repr):
+            _canonical(item, out)
+        out.append("};")
+    elif callable(obj):
+        # Functions/bound methods participate by identity of their code
+        # location, not their closure state.
+        out.append(f"fn:{getattr(obj, '__module__', '?')}.{getattr(obj, '__qualname__', repr(obj))};")
+    else:
+        # Plain objects (e.g. MaiaNode, Processor facades): class name plus
+        # their attribute dict, covering both __dict__ and __slots__.
+        out.append(f"obj:{type(obj).__name__}(")
+        state = getattr(obj, "__dict__", None)
+        if state is None:
+            slots = getattr(type(obj), "__slots__", ())
+            state = {s: getattr(obj, s) for s in slots if hasattr(obj, s)}
+        for k in sorted(state):
+            out.append(f"{k}=")
+            _canonical(state[k], out)
+        out.append(");")
+
+
+def fingerprint(*objects: Any) -> str:
+    """A stable SHA-256 hex digest of the canonical form of ``objects``."""
+    out: list = []
+    for obj in objects:
+        _canonical(obj, out)
+    return hashlib.sha256("".join(out).encode()).hexdigest()
+
+
+# ==========================================================================
+# The cache
+# ==========================================================================
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`EvalCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+_MISSING = object()
+
+
+class EvalCache:
+    """An LRU memo cache for model evaluations.
+
+    Values are whatever the evaluation produced (typically an immutable
+    :class:`~repro.core.results.Measurement`); keys are fingerprints
+    built with :meth:`key`.  ``max_entries=None`` means unbounded — the
+    right default for figure campaigns, whose working sets are small.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._data: "OrderedDict[str, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------- keying
+
+    def key(self, *parts: Any) -> str:
+        """Fingerprint ``parts`` into a cache key."""
+        return fingerprint(parts)
+
+    # ------------------------------------------------------------- access
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key``, counting a hit or a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (evicting LRU entries if bounded)."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss.
+
+        Exceptions from ``compute`` propagate and nothing is stored, so
+        infeasible points (e.g. out-of-memory configurations) stay
+        faithful failures rather than cached successes.
+        """
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.stats.hits += 1
+            self._data.move_to_end(key)
+            return value
+        self.stats.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Tuple[str, Any]]:
+        return iter(self._data.items())
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._data.clear()
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats
+        return (
+            f"<EvalCache entries={len(self._data)} "
+            f"hits={s.hits} misses={s.misses}>"
+        )

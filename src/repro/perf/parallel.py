@@ -1,0 +1,118 @@
+"""Parallel sweep execution with deterministic result ordering.
+
+Sweep grids (thread counts, message sizes, I×J decompositions) and
+multi-figure campaigns are embarrassingly parallel: every point is a
+pure function of its coordinates.  :func:`parallel_map` fans a point
+function over a grid with a ``concurrent.futures`` process pool and
+returns results **in input order**, so a parallel sweep is
+bit-identical to its serial counterpart — the property the test suite
+asserts.
+
+Design points:
+
+* ``workers=None``/``0``/``1`` runs serially in-process; parallelism is
+  always opt-in, so library defaults stay deterministic and cheap.
+* The pool uses the ``fork`` start method where available (cheap worker
+  start-up, ``__main__``-defined functions keep working); otherwise the
+  platform default.
+* Work is submitted in chunks to amortise IPC for microsecond-scale
+  model evaluations.
+* If the point function or an argument cannot be pickled, or the host
+  cannot spawn processes at all (sandboxes), execution silently falls
+  back to the serial path — same results, no speedup — rather than
+  failing the sweep.
+* Exceptions raised by a point propagate to the caller in both modes;
+  infeasible-point *skipping* is the sweep layer's job
+  (:mod:`repro.core.sweep`), and it only skips the simulator's own
+  error types.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["default_workers", "parallel_map", "parallel_tasks"]
+
+
+def default_workers() -> int:
+    """A sensible worker count: the CPUs this process may actually use."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _mp_context():
+    """Prefer ``fork``: near-free worker start and no re-import race."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _picklable(*objects: Any) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def _chunksize(n_items: int, workers: int) -> int:
+    """Chunk so each worker sees a handful of submissions, not one per item."""
+    return max(1, n_items // (workers * 4))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """``[fn(x) for x in items]``, fanned over a process pool.
+
+    Results are returned in input order regardless of completion order.
+    ``workers`` <= 1 (or ``None``) runs serially; exceptions raised by
+    ``fn`` propagate in both modes.
+    """
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(x) for x in items]
+    if not _picklable(fn, items):
+        return [fn(x) for x in items]
+    n_workers = min(workers, len(items))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=_mp_context()
+        ) as pool:
+            return list(
+                pool.map(fn, items, chunksize=chunksize or _chunksize(len(items), n_workers))
+            )
+    except (OSError, PermissionError, NotImplementedError):
+        # Hosts that forbid subprocess/semaphore creation: degrade to serial.
+        return [fn(x) for x in items]
+
+
+def _call_task(task: Sequence) -> Any:
+    fn, args = task[0], task[1:]
+    return fn(*args)
+
+
+def parallel_tasks(
+    tasks: Iterable[Sequence],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Run heterogeneous ``(fn, *args)`` tasks, preserving input order.
+
+    The campaign primitive: each task can be a different figure's point
+    function.  Serial when ``workers`` <= 1.
+    """
+    return parallel_map(_call_task, [tuple(t) for t in tasks], workers=workers)

@@ -1,0 +1,385 @@
+"""Self-benchmark campaigns: how fast is the simulator itself?
+
+The ROADMAP's north star is a system that runs as fast as the hardware
+allows; this module is how we know whether we are getting there.  It
+times four representative workloads and writes ``BENCH_selfperf.json``
+so the performance trajectory is tracked across PRs:
+
+* ``allreduce`` — discrete-event MPI_Allreduce simulations at 16, 64
+  and 256 ranks (the simcore + MPI-runtime hot path).
+* ``mg_sweep`` — the NPB OpenMP Class C evaluation grid (Figs 19/25)
+  priced twice through a shared :class:`~repro.perf.cache.EvalCache`,
+  reporting the hit rate and the cached-pass speedup.
+* ``fig22`` — the full OVERFLOW (I MPI ranks × J OpenMP threads)
+  decomposition campaign: every point prices the step *and* runs a
+  simcore ring halo-exchange validation at I ranks.  This is the
+  campaign used to demonstrate parallel-sweep speedup.
+* ``engine_storm`` — a spawn/join storm on the raw engine (the O(1)
+  process-retirement regression guard).
+
+All campaigns are deterministic: a parallel run must produce exactly
+the same points as a serial run, and :func:`run_selfperf` checks that
+whenever it measures a speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from functools import lru_cache, partial
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.perf.parallel import parallel_map
+
+__all__ = [
+    "allreduce_campaign",
+    "engine_storm",
+    "fig22_campaign",
+    "fig22_grid",
+    "mg_cache_campaign",
+    "run_selfperf",
+    "spawn_join_storm",
+]
+
+
+# ==========================================================================
+# Campaign 1: simulated MPI_Allreduce (simcore + MPI runtime hot path)
+# ==========================================================================
+
+
+def _allreduce_main(nbytes: int, comm):
+    total = yield from comm.allreduce(comm.rank, nbytes=nbytes)
+    return total
+
+
+def _allreduce_point(point: Tuple[int, int]) -> Dict[str, Any]:
+    from repro.mpi.fabrics import phi_fabric
+    from repro.mpi.runtime import mpiexec
+    from repro.simcore import Engine
+
+    ranks, nbytes = point
+    engine = Engine()
+    job = mpiexec(ranks, phi_fabric(2), partial(_allreduce_main, nbytes), engine=engine)
+    expected = ranks * (ranks - 1) // 2
+    return {
+        "ranks": ranks,
+        "nbytes": nbytes,
+        "sim_elapsed": job.elapsed,
+        "engine_steps": engine.timeline(),
+        "correct": all(r == expected for r in job.returns),
+    }
+
+
+def allreduce_points(quick: bool = False) -> List[Tuple[int, int]]:
+    if quick:
+        return [(16, 8), (64, 8)]
+    return [(16, 8), (16, 65536), (64, 8), (64, 65536), (256, 8), (256, 65536)]
+
+
+def allreduce_campaign(
+    quick: bool = False, workers: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Simulated allreduce runs (16/64/256 ranks × small/large messages)."""
+    return parallel_map(_allreduce_point, allreduce_points(quick), workers=workers)
+
+
+# ==========================================================================
+# Campaign 2: NPB MG / OpenMP suite sweep through the evaluation cache
+# ==========================================================================
+
+
+def mg_cache_campaign(quick: bool = False) -> Dict[str, Any]:
+    """Price the Figs 19/25 evaluation grid twice through one cache.
+
+    The second pass should be all hits; the report carries the measured
+    hit rate and the cold/warm pass times.
+    """
+    from repro.core import Evaluator
+    from repro.core.sweep import INFEASIBLE_ERRORS
+    from repro.machine.node import Device
+    from repro.npb.characterization import OPENMP_BENCHMARKS, class_c_kernel
+    from repro.perf.cache import EvalCache
+
+    benches = ["MG"] if quick else list(OPENMP_BENCHMARKS)
+    cache = EvalCache()
+    ev = Evaluator(cache=cache)
+    grid = [
+        (b, dev, t)
+        for b in benches
+        for dev, counts in ((Device.HOST, (16,)), (Device.PHI0, (59, 118, 177, 236)))
+        for t in counts
+    ]
+
+    def run_pass() -> List[Optional[float]]:
+        out: List[Optional[float]] = []
+        for b, dev, t in grid:
+            try:
+                out.append(ev.native(dev, class_c_kernel(b), t).gflops)
+            except INFEASIBLE_ERRORS:
+                out.append(None)
+        return out
+
+    t0 = time.perf_counter()
+    cold = run_pass()
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = run_pass()
+    warm_s = time.perf_counter() - t0
+    return {
+        "points": len(grid),
+        "identical": cold == warm,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cache_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "cache": cache.stats.as_dict(),
+    }
+
+
+# ==========================================================================
+# Campaign 3: the Fig-22 decomposition campaign (the parallel showcase)
+# ==========================================================================
+
+#: Simulated rank-messages each halo-exchange validation run is normalised
+#: to, so every grid point costs comparable wall time regardless of I (a
+#: ring round at I ranks with M messages per rank costs I × M messages).
+_HALO_POINT_MESSAGES = 2500
+_HALO_POINT_MESSAGES_QUICK = 200
+
+
+def fig22_grid(quick: bool = False) -> List[Tuple[str, int, int]]:
+    """The (device, I, J) decomposition grid.
+
+    ``quick`` uses the paper's nine Fig-22 points; the full campaign
+    covers every feasible I × J lattice point on both devices.
+    """
+    if quick:
+        host = [(16, 1), (8, 2), (4, 4), (2, 8), (1, 16)]
+        phi = [(4, 14), (4, 28), (8, 14), (8, 28)]
+    else:
+        host = [
+            (i, j)
+            for i in (1, 2, 4, 8, 16)
+            for j in (1, 2, 4, 8, 16)
+            if i * j <= 32
+        ]
+        phi = [
+            (i, j)
+            for i in (2, 4, 8, 16, 32, 59)
+            for j in (1, 2, 4, 7, 14, 28)
+            if i * j <= 236
+        ]
+    return [("host", i, j) for i, j in host] + [("phi0", i, j) for i, j in phi]
+
+
+@lru_cache(maxsize=4)
+def _overflow_model(grid_name: str):
+    from repro.apps import OverflowModel, dataset
+
+    return OverflowModel(dataset(grid_name))
+
+
+def _halo_ring_main(n_msgs: int, msg_bytes: int, rounds: int, comm):
+    env = None
+    for _ in range(rounds):
+        for _ in range(n_msgs):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            env = yield from comm.sendrecv(right, left, msg_bytes)
+    return env.nbytes if env is not None else 0
+
+
+def _fig22_point(
+    grid_name: str, point_messages: int, point: Tuple[str, int, int]
+) -> Dict[str, Any]:
+    """Price one decomposition and cross-check its halo-exchange model.
+
+    The analytic step price takes microseconds; the simcore validation
+    run (an I-rank ring exchange) is the substantive work, which is what
+    makes the campaign worth parallelising.
+    """
+    import math
+
+    from repro.apps.overflow import HALO_MESSAGE
+    from repro.core.sweep import INFEASIBLE_ERRORS
+    from repro.machine.node import Device
+    from repro.mpi.fabrics import host_fabric, phi_fabric
+    from repro.mpi.runtime import mpiexec
+    from repro.simcore import Engine
+
+    device_str, i, j = point
+    device = Device(device_str)
+    model = _overflow_model(grid_name)
+    try:
+        m = model.native_step(device, i, j)
+    except INFEASIBLE_ERRORS as e:
+        return {
+            "device": device_str, "ranks": i, "omp_threads": j,
+            "feasible": False, "reason": type(e).__name__,
+        }
+
+    out: Dict[str, Any] = {
+        "device": device_str, "ranks": i, "omp_threads": j,
+        "feasible": True, "step_s": m.time,
+        "compute_s": m.config["compute"], "comm_s": m.config["comm"],
+    }
+    if i > 1:
+        per_rank = model.grid.halo_bytes_per_step() / i
+        n_msgs = max(1, round(per_rank / HALO_MESSAGE))
+        msg = min(HALO_MESSAGE, int(per_rank))
+        if device is Device.HOST:
+            fabric = host_fabric()
+        else:
+            tpc = max(1, min(4, math.ceil(i * j / 59)))
+            fabric = phi_fabric(tpc)
+        rounds = max(1, point_messages // (i * n_msgs))
+        engine = Engine()
+        job = mpiexec(
+            i, fabric, partial(_halo_ring_main, n_msgs, msg, rounds), engine=engine
+        )
+        out["halo_sim_s"] = job.elapsed / rounds
+        out["halo_engine_steps"] = engine.timeline()
+    return out
+
+
+def fig22_campaign(
+    quick: bool = False,
+    workers: Optional[int] = None,
+    grid_name: str = "DLRF6-Medium",
+) -> List[Dict[str, Any]]:
+    """The full Fig-22 decomposition campaign (pricing + sim validation)."""
+    point_messages = _HALO_POINT_MESSAGES_QUICK if quick else _HALO_POINT_MESSAGES
+    return parallel_map(
+        partial(_fig22_point, grid_name, point_messages),
+        fig22_grid(quick),
+        workers=workers,
+    )
+
+
+# ==========================================================================
+# Campaign 4: engine spawn/join storm (O(1) retirement guard)
+# ==========================================================================
+
+
+def spawn_join_storm(n_procs: int) -> Tuple[float, int]:
+    """Spawn ``n_procs`` short-lived processes plus joiners; run to empty.
+
+    Returns (final simulated time, engine steps).  With O(1) process
+    retirement the step count and wall time scale linearly in
+    ``n_procs``; the old ``list.remove`` retirement made this quadratic.
+    """
+    from repro.simcore import Engine, Timeout, WaitEvent
+
+    eng = Engine()
+
+    def worker(k: int):
+        yield Timeout(float(k % 7) * 1e-6)
+        return k
+
+    def joiner(proc):
+        v = yield WaitEvent(proc.done)
+        return v
+
+    for k in range(n_procs):
+        p = eng.spawn(worker(k), name=f"w{k}")
+        eng.spawn(joiner(p), name=f"j{k}")
+    eng.run()
+    return eng.now, eng.timeline()
+
+
+def engine_storm(quick: bool = False) -> Dict[str, Any]:
+    n = 1000 if quick else 5000
+    t0 = time.perf_counter()
+    _, steps = spawn_join_storm(n)
+    wall = time.perf_counter() - t0
+    return {"processes": 2 * n, "engine_steps": steps, "wall_s": wall}
+
+
+# ==========================================================================
+# The harness
+# ==========================================================================
+
+
+def run_selfperf(
+    workers: int = 1,
+    quick: bool = False,
+    output: Optional[str] = "BENCH_selfperf.json",
+) -> Dict[str, Any]:
+    """Run all campaigns; optionally write the JSON report to ``output``.
+
+    With ``workers > 1`` the Fig-22 campaign is run both serially and in
+    parallel: the report records the wall-clock speedup and asserts the
+    two result lists are identical.
+    """
+    from repro.perf.parallel import default_workers
+
+    report: Dict[str, Any] = {
+        "schema": 1,
+        "workers": workers,
+        "host_cpus": default_workers(),
+        "quick": quick,
+        "campaigns": {},
+    }
+
+    t0 = time.perf_counter()
+    points = allreduce_campaign(quick, workers=workers)
+    report["campaigns"]["allreduce"] = {
+        "wall_s": time.perf_counter() - t0,
+        "points": points,
+    }
+
+    t0 = time.perf_counter()
+    report["campaigns"]["mg_sweep"] = mg_cache_campaign(quick)
+    report["campaigns"]["mg_sweep"]["wall_s"] = time.perf_counter() - t0
+
+    fig22: Dict[str, Any] = {}
+    t0 = time.perf_counter()
+    serial_points = fig22_campaign(quick, workers=1)
+    fig22["serial_wall_s"] = time.perf_counter() - t0
+    fig22["points"] = len(serial_points)
+    fig22["feasible"] = sum(1 for p in serial_points if p["feasible"])
+    if workers > 1:
+        t0 = time.perf_counter()
+        par_points = fig22_campaign(quick, workers=workers)
+        fig22["parallel_wall_s"] = time.perf_counter() - t0
+        fig22["identical"] = par_points == serial_points
+        if fig22["parallel_wall_s"] > 0:
+            fig22["speedup"] = fig22["serial_wall_s"] / fig22["parallel_wall_s"]
+    fig22["results"] = serial_points
+    report["campaigns"]["fig22"] = fig22
+
+    report["campaigns"]["engine_storm"] = engine_storm(quick)
+
+    if output:
+        with open(output, "w") as fh:
+            json.dump(report, fh, indent=2)
+    return report
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """A terminal summary of a self-perf report."""
+    from repro.core.report import render_table
+
+    c = report["campaigns"]
+    rows = [
+        ("allreduce sims", f"{c['allreduce']['wall_s']:.3f}",
+         f"{len(c['allreduce']['points'])} runs"),
+        ("MG/NPB sweep (cached)", f"{c['mg_sweep']['wall_s']:.3f}",
+         f"hit rate {c['mg_sweep']['cache']['hit_rate']:.0%}"),
+        ("Fig-22 campaign (serial)", f"{c['fig22']['serial_wall_s']:.3f}",
+         f"{c['fig22']['feasible']}/{c['fig22']['points']} feasible"),
+    ]
+    if "parallel_wall_s" in c["fig22"]:
+        rows.append(
+            (f"Fig-22 campaign (x{report['workers']})",
+             f"{c['fig22']['parallel_wall_s']:.3f}",
+             f"speedup {c['fig22']['speedup']:.2f}x on "
+             f"{report.get('host_cpus', '?')} cpu(s), "
+             f"identical={c['fig22']['identical']}")
+        )
+    rows.append(
+        ("engine storm", f"{c['engine_storm']['wall_s']:.3f}",
+         f"{c['engine_storm']['processes']} procs, "
+         f"{c['engine_storm']['engine_steps']} steps")
+    )
+    return render_table(("campaign", "wall (s)", "notes"), rows,
+                        title="simulator self-benchmark")

@@ -1,0 +1,184 @@
+"""Tests for the memoized evaluation cache (repro.perf.cache)."""
+
+import pytest
+
+from repro.core import Evaluator
+from repro.core.software import PRE_UPDATE
+from repro.errors import OutOfMemoryError
+from repro.machine.node import Device
+from repro.npb.characterization import class_c_kernel
+from repro.perf.cache import EvalCache, fingerprint
+
+
+# --------------------------------------------------------------------------
+# fingerprints
+# --------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        k = class_c_kernel("MG")
+        assert fingerprint(k) == fingerprint(k)
+
+    def test_identical_specs_share_fingerprints(self):
+        assert fingerprint(class_c_kernel("MG")) == fingerprint(class_c_kernel("MG"))
+
+    def test_different_specs_differ(self):
+        assert fingerprint(class_c_kernel("MG")) != fingerprint(class_c_kernel("CG"))
+
+    def test_dict_key_order_ignored(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_scalar_types_distinguished(self):
+        assert fingerprint(1) != fingerprint("1")
+        assert fingerprint(1) != fingerprint(1.0)
+
+    def test_enums_and_containers(self):
+        assert fingerprint(Device.HOST) != fingerprint(Device.PHI0)
+        assert fingerprint((1, 2)) != fingerprint([1, 2])
+
+    def test_machine_fingerprint_matches_across_evaluators(self):
+        assert Evaluator().machine_fingerprint == Evaluator().machine_fingerprint
+
+    def test_software_stack_changes_fingerprint(self):
+        assert (
+            Evaluator().machine_fingerprint
+            != Evaluator(software=PRE_UPDATE).machine_fingerprint
+        )
+
+
+# --------------------------------------------------------------------------
+# the cache object
+# --------------------------------------------------------------------------
+
+
+class TestEvalCache:
+    def test_miss_then_hit(self):
+        c = EvalCache()
+        key = c.key("native", 16)
+        assert c.get(key) is None
+        c.put(key, 42)
+        assert c.get(key) == 42
+        assert c.stats.misses == 1
+        assert c.stats.hits == 1
+        assert c.stats.hit_rate == pytest.approx(0.5)
+
+    def test_get_or_compute_computes_once(self):
+        c = EvalCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        key = c.key("x")
+        assert c.get_or_compute(key, compute) == "value"
+        assert c.get_or_compute(key, compute) == "value"
+        assert len(calls) == 1
+        assert (c.stats.hits, c.stats.misses) == (1, 1)
+
+    def test_exceptions_are_not_cached(self):
+        c = EvalCache()
+        key = c.key("boom")
+
+        def compute():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            c.get_or_compute(key, compute)
+        assert key not in c
+        assert c.stats.misses == 1
+
+    def test_lru_eviction(self):
+        c = EvalCache(max_entries=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1  # refresh a
+        c.put("c", 3)  # evicts b
+        assert "b" not in c
+        assert "a" in c and "c" in c
+        assert c.stats.evictions == 1
+
+    def test_clear_resets(self):
+        c = EvalCache()
+        c.put(c.key(1), 1)
+        c.get(c.key(1))
+        c.clear()
+        assert len(c) == 0
+        assert c.stats.lookups == 0
+
+    def test_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            EvalCache(max_entries=0)
+
+
+# --------------------------------------------------------------------------
+# evaluator wiring
+# --------------------------------------------------------------------------
+
+
+class TestEvaluatorCaching:
+    def test_native_repeat_hits(self):
+        c = EvalCache()
+        ev = Evaluator(cache=c)
+        k = class_c_kernel("MG")
+        m1 = ev.native(Device.HOST, k, 16)
+        m2 = ev.native(Device.HOST, k, 16)
+        assert m1 == m2
+        assert (c.stats.hits, c.stats.misses) == (1, 1)
+
+    def test_cached_equals_uncached(self):
+        k = class_c_kernel("MG")
+        cached = Evaluator(cache=EvalCache()).native(Device.PHI0, k, 177)
+        plain = Evaluator().native(Device.PHI0, k, 177)
+        assert cached == plain
+
+    def test_distinct_params_miss(self):
+        c = EvalCache()
+        ev = Evaluator(cache=c)
+        k = class_c_kernel("MG")
+        ev.native(Device.HOST, k, 16)
+        ev.native(Device.HOST, k, 32)
+        ev.native(Device.PHI0, k, 177)
+        assert (c.stats.hits, c.stats.misses) == (0, 3)
+
+    def test_identical_machines_share_entries(self):
+        c = EvalCache()
+        k = class_c_kernel("MG")
+        Evaluator(cache=c).native(Device.HOST, k, 16)
+        Evaluator(cache=c).native(Device.HOST, k, 16)
+        assert (c.stats.hits, c.stats.misses) == (1, 1)
+
+    def test_machine_change_invalidates(self):
+        c = EvalCache()
+        k = class_c_kernel("MG")
+        Evaluator(cache=c).native(Device.HOST, k, 16)
+        # Same shared cache, different software stack: must miss.
+        Evaluator(software=PRE_UPDATE, cache=c).native(Device.HOST, k, 16)
+        assert (c.stats.hits, c.stats.misses) == (0, 2)
+
+    def test_offload_repeat_hits(self):
+        from repro.npb.mg_offload import offload_regions
+
+        c = EvalCache()
+        ev = Evaluator(cache=c)
+        region = next(iter(offload_regions("C").values()))
+        r1 = ev.offload(region)
+        r2 = ev.offload(region)
+        assert r1 == r2
+        assert (c.stats.hits, c.stats.misses) == (1, 1)
+
+    def test_infeasible_points_stay_failures(self):
+        # A footprint beyond the Phi's 8 GB (the paper's FT-on-Phi case):
+        # the failure must re-raise on every call, never be replayed as a
+        # cached success.
+        import dataclasses
+
+        c = EvalCache()
+        ev = Evaluator(cache=c)
+        k = dataclasses.replace(class_c_kernel("FT"), footprint=int(10 * 2**30))
+        for _ in range(2):
+            with pytest.raises(OutOfMemoryError):
+                ev.native(Device.PHI0, k, 177)
+        assert c.stats.hits == 0
+        assert c.stats.misses == 2

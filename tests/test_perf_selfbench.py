@@ -1,0 +1,88 @@
+"""Tests for the self-benchmark campaigns (repro.perf.selfbench)."""
+
+import json
+
+import pytest
+
+from repro.perf.selfbench import (
+    allreduce_campaign,
+    engine_storm,
+    fig22_campaign,
+    fig22_grid,
+    mg_cache_campaign,
+    run_selfperf,
+    spawn_join_storm,
+)
+
+
+class TestCampaigns:
+    def test_allreduce_sums_are_correct(self):
+        points = allreduce_campaign(quick=True)
+        assert len(points) == 2
+        assert all(p["correct"] for p in points)
+        assert all(p["sim_elapsed"] > 0 for p in points)
+
+    def test_allreduce_time_grows_with_ranks(self):
+        points = {p["ranks"]: p["sim_elapsed"] for p in allreduce_campaign(quick=True)}
+        assert points[64] > points[16]
+
+    def test_mg_cache_campaign_all_hits_on_second_pass(self):
+        report = mg_cache_campaign(quick=True)
+        assert report["identical"]
+        # Two passes over the same grid: second pass is all hits.
+        assert report["cache"]["hits"] == report["cache"]["misses"]
+        assert report["cache"]["hit_rate"] == pytest.approx(0.5)
+
+    def test_fig22_quick_grid_is_the_paper_grid(self):
+        grid = fig22_grid(quick=True)
+        assert len(grid) == 9
+        assert ("host", 16, 1) in grid
+        assert ("phi0", 8, 28) in grid
+
+    def test_fig22_full_grid_covers_both_devices(self):
+        grid = fig22_grid(quick=False)
+        devices = {d for d, _, _ in grid}
+        assert devices == {"host", "phi0"}
+        assert len(grid) > 40
+        # Every point respects the device thread budget by construction.
+        assert all(i * j <= 32 for d, i, j in grid if d == "host")
+        assert all(i * j <= 236 for d, i, j in grid if d == "phi0")
+
+    def test_fig22_parallel_identical_to_serial(self):
+        serial = fig22_campaign(quick=True, workers=1)
+        par = fig22_campaign(quick=True, workers=2)
+        assert serial == par
+        assert all(p["feasible"] for p in serial)
+
+    def test_fig22_points_carry_sim_validation(self):
+        points = fig22_campaign(quick=True)
+        multi_rank = [p for p in points if p["ranks"] > 1]
+        assert multi_rank
+        assert all(p["halo_sim_s"] > 0 for p in multi_rank)
+        assert all(p["halo_engine_steps"] > 0 for p in multi_rank)
+
+    def test_engine_storm_linear_steps(self):
+        report = engine_storm(quick=True)
+        assert report["engine_steps"] == 2 * report["processes"]
+
+    def test_spawn_join_storm_deterministic(self):
+        assert spawn_join_storm(200) == spawn_join_storm(200)
+
+
+class TestHarness:
+    def test_run_selfperf_writes_report(self, tmp_path):
+        out = tmp_path / "selfperf.json"
+        report = run_selfperf(workers=1, quick=True, output=str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk["schema"] == report["schema"] == 1
+        assert set(on_disk["campaigns"]) == {
+            "allreduce", "mg_sweep", "fig22", "engine_storm",
+        }
+
+    def test_run_selfperf_records_speedup_fields(self):
+        report = run_selfperf(workers=2, quick=True, output=None)
+        fig22 = report["campaigns"]["fig22"]
+        assert fig22["identical"]
+        assert "speedup" in fig22
+        assert fig22["serial_wall_s"] > 0
+        assert fig22["parallel_wall_s"] > 0

@@ -355,3 +355,94 @@ def test_exception_in_process_propagates_from_run():
     eng.spawn(p(eng))
     with pytest.raises(RuntimeError, match="boom"):
         eng.run()
+
+
+# --------------------------------------------------------------------------
+# performance regressions (repro.perf hot-path work)
+# --------------------------------------------------------------------------
+
+
+def test_spawn_join_storm_completes_linearly():
+    """5,000 spawn/join pairs must retire in O(1) each.
+
+    The old ``list.remove``-based retirement made process completion
+    O(live processes), turning this storm quadratic (tens of seconds);
+    with O(1) retirement it takes a bounded, linear number of engine
+    steps and well under a second of wall time.
+    """
+    import time
+
+    from repro.perf.selfbench import spawn_join_storm
+
+    n = 5000
+    t0 = time.perf_counter()
+    _, steps = spawn_join_storm(n)
+    wall = time.perf_counter() - t0
+    # Each worker takes 2 steps (resume + StopIteration) and each joiner 2.
+    assert steps == 4 * n
+    assert wall < 5.0
+
+
+def test_live_retirement_is_constant_time():
+    eng = Engine()
+
+    def p(env):
+        yield Timeout(1.0)
+
+    procs = [eng.spawn(p(eng)) for _ in range(100)]
+    eng.run()
+    assert all(pr.finished for pr in procs)
+    assert len(eng._live) == 0
+
+
+def test_deadlock_report_names_processes_in_spawn_order():
+    eng = Engine()
+    ev = Event("never")
+
+    def stuck(env, k):
+        yield WaitEvent(ev)
+
+    for k in range(3):
+        eng.spawn(stuck(eng, k), name=f"stuck{k}")
+    with pytest.raises(DeadlockError, match="stuck0.*stuck1.*stuck2"):
+        eng.run()
+
+
+# --------------------------------------------------------------------------
+# __slots__ audit (no per-instance dicts on hot objects)
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "obj",
+    [
+        Timeout(1.0),
+        WaitEvent(Event()),
+        AllOf([Event()]),
+        Get(Store()),
+        Put(Store(), 1),
+        Acquire(Resource()),
+        Event(),
+        Store(),
+        Resource(),
+        Engine(),
+    ],
+    ids=lambda o: type(o).__name__,
+)
+def test_hot_objects_have_no_instance_dict(obj):
+    assert not hasattr(obj, "__dict__")
+    with pytest.raises(AttributeError):
+        obj.some_attribute_that_does_not_exist = 1
+
+
+def test_process_has_no_instance_dict():
+    eng = Engine()
+
+    def p(env):
+        yield Timeout(0.0)
+
+    proc = eng.spawn(p(eng))
+    assert not hasattr(proc, "__dict__")
+    with pytest.raises(AttributeError):
+        proc.stray = 1
+    eng.run()
