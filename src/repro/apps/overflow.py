@@ -37,6 +37,7 @@ from repro.machine.node import Device
 from repro.machine.presets import maia_host_processor, maia_infiniband, xeon_phi_5110p
 from repro.machine.processor import Processor
 from repro.mpi.fabrics import host_fabric, phi_fabric
+from repro.obs.tracer import Tracer, active
 from repro.units import KiB, MiB
 
 
@@ -165,13 +166,16 @@ class OverflowModel:
         ranks: int,
         omp_threads: int,
         check_memory: bool = True,
+        tracer: Optional[Tracer] = None,
     ) -> Measurement:
         """Wall time of one step in native mode at (ranks × omp_threads).
 
         Raises :class:`OutOfMemoryError` when the case does not fit the
         device (DLRF6-Large on a single Phi card).  Symmetric mode prices
         per-device *rates* with ``check_memory=False`` since each device
-        only holds its zone share.
+        only holds its zone share.  An active ``tracer`` records the
+        step's compute / halo-exchange breakdown as spans on lane
+        ``overflow``/``<device>``.
         """
         device = Device(device)
         if ranks < 1 or omp_threads < 1:
@@ -193,6 +197,38 @@ class OverflowModel:
 
         comm = self._native_comm_time(device, ranks, total_threads)
         step = StepBreakdown(base.total, comm, omp_factor)
+        tr = active(tracer)
+        if tr is not None:
+            t0 = tr.now
+            compute_t = step.compute * step.omp_factor
+            tr.complete(
+                "step",
+                cat="app.step",
+                pid="overflow",
+                tid=device.value,
+                ts=t0,
+                dur=step.total,
+                args={"ranks": ranks, "omp_threads": omp_threads},
+            )
+            tr.complete(
+                "compute",
+                cat="app.compute",
+                pid="overflow",
+                tid=device.value,
+                ts=t0,
+                dur=compute_t,
+                depth=1,
+            )
+            if comm > 0.0:
+                tr.complete(
+                    "halo-exchange",
+                    cat="app.comm",
+                    pid="overflow",
+                    tid=device.value,
+                    ts=t0 + compute_t,
+                    dur=comm,
+                    depth=1,
+                )
         return Measurement(
             name=f"overflow[{self.grid.name}]",
             time=step.total,
@@ -229,15 +265,19 @@ class OverflowModel:
         device: Device,
         configs: List[Tuple[int, int]],
         workers: Optional[int] = None,
+        trace: Optional[Tracer] = None,
     ) -> List[Measurement]:
         """Fig 22's sweep; infeasible points are skipped.
 
         ``workers > 1`` prices the grid on a process pool (identical
-        results in identical order — see :mod:`repro.core.sweep`).
+        results in identical order — see :mod:`repro.core.sweep`);
+        ``trace`` lays the feasible points out as sweep spans.
         """
         from repro.core.sweep import decomposition_sweep as _sweep
 
-        results = _sweep(partial(self.native_step, device), configs, workers=workers)
+        results = _sweep(
+            partial(self.native_step, device), configs, workers=workers, trace=trace
+        )
         return list(results)
 
     # ----------------------------------------------------- symmetric mode

@@ -409,6 +409,92 @@ def _cmd_bench(parallel: int, quick: bool, output: Optional[str]) -> int:
     return 0 if fig22.get("identical", True) else 1
 
 
+#: Experiments the ``trace`` command can record.
+TRACE_EXPERIMENTS = (
+    "allreduce",
+    "bcast",
+    "allgather",
+    "alltoall",
+    "halo",
+    "cg",
+    "offload",
+)
+
+
+def _trace_main(experiment: str, nbytes: int):
+    """Rank main for the MPI trace experiments."""
+
+    def main(comm):
+        with comm.phase(experiment):
+            if experiment == "allreduce":
+                yield from comm.allreduce(comm.rank, nbytes=nbytes)
+            elif experiment == "bcast":
+                yield from comm.bcast(comm.rank, nbytes=nbytes)
+            elif experiment == "allgather":
+                yield from comm.allgather(comm.rank, nbytes=nbytes)
+            elif experiment == "alltoall":
+                yield from comm.alltoall(list(range(comm.size)), nbytes=nbytes)
+            elif experiment == "halo":
+                right = (comm.rank + 1) % comm.size
+                left = (comm.rank - 1) % comm.size
+                yield from comm.sendrecv(right, left, nbytes=nbytes)
+                yield from comm.sendrecv(left, right, nbytes=nbytes)
+        yield from comm.barrier()
+
+    return main
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import (
+        Tracer,
+        render_comm_matrix,
+        render_timeline,
+        trace_digest,
+        write_chrome_trace,
+    )
+
+    tracer = Tracer()
+    if args.experiment == "offload":
+        from repro.core import Evaluator
+        from repro.npb.mg_offload import offload_regions
+
+        ev = Evaluator()
+        for region in offload_regions("C").values():
+            ev.offload(region, tracer=tracer)
+        _print("experiment: offload (MG Class C regions)")
+    else:
+        from repro.mpi.fabrics import host_fabric, phi_fabric
+        from repro.mpi.runtime import mpiexec
+
+        fabric = host_fabric() if args.fabric == "host" else phi_fabric(args.tpc)
+        if args.experiment == "cg":
+            from repro.errors import ConfigError
+            from repro.npb import cg as cg_serial
+            from repro.npb.mpi_versions import cg_mpi
+
+            if args.ranks & (args.ranks - 1):
+                raise ConfigError("CG requires a power-of-two rank count")
+            a = cg_serial.make_matrix("S")
+            main = lambda comm: cg_mpi(comm, "S", matrix=a)  # noqa: E731
+        else:
+            main = _trace_main(args.experiment, args.nbytes)
+        res = mpiexec(args.ranks, fabric, main, tracer=tracer)
+        _print(
+            f"experiment: {args.experiment}  ranks={args.ranks}  "
+            f"fabric={args.fabric}  elapsed={res.elapsed:.6e}s"
+        )
+    write_chrome_trace(tracer, args.out)
+    _print(f"events: {len(tracer)}")
+    if args.timeline:
+        _print(render_timeline(tracer))
+        matrix = render_comm_matrix(tracer)
+        if matrix:
+            _print(matrix)
+    _print(f"trace written to {args.out}")
+    _print(f"digest: {trace_digest(tracer)}")
+    return 0
+
+
 # --------------------------------------------------------------------------
 # entry point
 # --------------------------------------------------------------------------
@@ -448,6 +534,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", default="BENCH_selfperf.json", metavar="PATH",
         help="JSON report path ('-' to skip writing)",
     )
+    p_trace = sub.add_parser(
+        "trace", help="record a Chrome trace of one simulated experiment"
+    )
+    p_trace.add_argument("experiment", choices=TRACE_EXPERIMENTS)
+    p_trace.add_argument("--ranks", type=int, default=8, help="MPI ranks (default 8)")
+    p_trace.add_argument(
+        "--nbytes", type=int, default=1024, help="message size (default 1024)"
+    )
+    p_trace.add_argument("--fabric", default="host", choices=("host", "phi"))
+    p_trace.add_argument(
+        "--tpc", type=int, default=3, choices=(1, 2, 3, 4),
+        help="threads/core for the phi fabric",
+    )
+    p_trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="Chrome trace-event JSON output (load in Perfetto)",
+    )
+    p_trace.add_argument(
+        "--timeline", action="store_true", help="also render the ASCII timeline"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "table1":
@@ -482,6 +588,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         output = None if args.output == "-" else args.output
         return _cmd_bench(args.parallel, args.quick, output)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return 2  # pragma: no cover
 
 

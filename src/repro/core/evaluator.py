@@ -27,6 +27,7 @@ from repro.execmodel.roofline import kernel_time
 from repro.machine.node import Device, MaiaNode
 from repro.machine.presets import maia_host_processor, maia_node
 from repro.machine.processor import Processor
+from repro.obs.tracer import Tracer, active
 from repro.openmp.constructs import barrier_cost
 from repro.perf.cache import EvalCache, fingerprint
 
@@ -141,9 +142,14 @@ class Evaluator:
         region: OffloadRegion,
         target: Device = Device.PHI0,
         n_threads: int = 177,
+        tracer: Optional[Tracer] = None,
     ) -> Measurement:
-        """Offload-mode execution; time covers all invocations."""
-        if self.cache is not None:
+        """Offload-mode execution; time covers all invocations.
+
+        An active ``tracer`` records the run's phase spans — and bypasses
+        the cache, since a replayed measurement would emit no spans.
+        """
+        if self.cache is not None and active(tracer) is None:
             key = self.cache.key(
                 "offload", self.machine_fingerprint, region,
                 Device(target).value, n_threads,
@@ -151,15 +157,18 @@ class Evaluator:
             return self.cache.get_or_compute(
                 key, lambda: self._offload_uncached(region, target, n_threads)
             )
-        return self._offload_uncached(region, target, n_threads)
+        return self._offload_uncached(region, target, n_threads, tracer=tracer)
 
     def _offload_uncached(
         self,
         region: OffloadRegion,
         target: Device = Device.PHI0,
         n_threads: int = 177,
+        tracer: Optional[Tracer] = None,
     ) -> Measurement:
-        report: OffloadReport = self.offload_model(target, n_threads).run(region)
+        report: OffloadReport = self.offload_model(target, n_threads).run(
+            region, tracer=tracer
+        )
         flops = region.kernel.flops * region.invocations
         return Measurement(
             name=region.name,

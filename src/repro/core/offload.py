@@ -26,7 +26,13 @@ from repro.execmodel.kernel import KernelSpec
 from repro.execmodel.roofline import kernel_time
 from repro.machine.pcie import PcieLink
 from repro.machine.processor import Processor
+from repro.obs.tracer import Tracer, active
 from repro.units import GB, US
+
+#: Per-invocation trace spans are emitted for at most this many
+#: invocations; the remainder collapses into one aggregate span so a
+#: 100k-invocation region does not produce a 600k-event trace.
+TRACE_MAX_INVOCATIONS = 32
 
 
 @dataclass(frozen=True)
@@ -146,16 +152,24 @@ class OffloadCostModel:
             "phi_setup": phi_setup,
         }
 
-    def run(self, region: OffloadRegion) -> OffloadReport:
-        """Price a full run of ``region`` (all invocations)."""
+    def run(
+        self, region: OffloadRegion, tracer: Optional[Tracer] = None
+    ) -> OffloadReport:
+        """Price a full run of ``region`` (all invocations).
+
+        With a ``tracer``, the run is also laid out as synthetic spans on
+        lane ``offload``/``<region name>``: per-invocation host-setup,
+        PCIe stage-in, Phi-setup, kernel, copy-back and host-residual
+        phases (the OFFLOAD_REPORT decomposition, drawable in Perfetto).
+        """
         per = self.invocation_overhead(region)
         n = region.invocations
-        exec_time = (
-            kernel_time(
-                region.kernel, self.phi, self.n_threads, sync_cost=self.sync_cost
-            ).total
-            * n
-        )
+        kernel_per = kernel_time(
+            region.kernel, self.phi, self.n_threads, sync_cost=self.sync_cost
+        ).total
+        tr = active(tracer)
+        if tr is not None:
+            self._emit_trace(region, per, kernel_per, tr)
         return OffloadReport(
             region=region.name,
             invocations=n,
@@ -163,9 +177,64 @@ class OffloadCostModel:
             host_setup_time=per["host_setup"] * n,
             transfer_time=per["pcie_transfer"] * n,
             phi_setup_time=per["phi_setup"] * n,
-            kernel_time=exec_time,
+            kernel_time=kernel_per * n,
             host_residual_time=region.host_residual * n,
         )
+
+    def _emit_trace(
+        self,
+        region: OffloadRegion,
+        per: Dict[str, float],
+        kernel_per: float,
+        tracer: Tracer,
+    ) -> None:
+        """Lay the priced run out as spans starting at the tracer's clock.
+
+        The cost model is analytic — there are no engine processes to
+        hook — so phases advance a local time cursor instead.
+        """
+        lane = region.name
+        stage_in = self.link.transfer_time(region.data_in)
+        copy_back = self.link.transfer_time(region.data_out)
+        phases = [
+            ("host-setup", "offload.host", per["host_setup"]),
+            ("pcie-stage-in", "offload.pcie", stage_in),
+            ("phi-setup", "offload.phi", per["phi_setup"]),
+            ("kernel", "offload.kernel", kernel_per),
+            ("pcie-copy-back", "offload.pcie", copy_back),
+            ("host-residual", "offload.host", region.host_residual),
+        ]
+        per_invocation = sum(dur for _, _, dur in phases)
+        t = tracer.now
+        detailed = min(region.invocations, TRACE_MAX_INVOCATIONS)
+        for i in range(detailed):
+            tracer.complete(
+                f"invocation[{i}]",
+                cat="offload.invocation",
+                pid="offload",
+                tid=lane,
+                ts=t,
+                dur=per_invocation,
+                args={"region": region.name},
+            )
+            for name, cat, dur in phases:
+                if dur <= 0.0:
+                    continue
+                tracer.complete(
+                    name, cat=cat, pid="offload", tid=lane, ts=t, dur=dur, depth=1
+                )
+                t += dur
+        rest = region.invocations - detailed
+        if rest > 0:
+            tracer.complete(
+                f"invocations[{detailed}..{region.invocations - 1}]",
+                cat="offload.invocation",
+                pid="offload",
+                tid=lane,
+                ts=t,
+                dur=per_invocation * rest,
+                args={"region": region.name, "aggregated": rest},
+            )
 
     def compare(self, *regions: OffloadRegion) -> Dict[str, OffloadReport]:
         """Run several offload strategies of the same application (the

@@ -27,6 +27,7 @@ from repro.core.evaluator import Evaluator
 from repro.core.results import Measurement, ResultSet
 from repro.execmodel.kernel import KernelSpec
 from repro.machine.node import Device
+from repro.obs.tracer import Tracer, active
 from repro.perf.parallel import parallel_map
 from repro.units import KiB
 
@@ -76,21 +77,53 @@ def _price_point(
         return None
 
 
+def _emit_sweep_trace(tracer: Tracer, sweep_name: str, results: ResultSet) -> None:
+    """Lay a sweep's measurements out as spans, one lane per device.
+
+    Sweeps may price points in pool workers, so spans are reconstructed
+    from the measurements afterwards — deterministic, because results
+    arrive in grid order — with each lane packing its points end to end
+    on a local time cursor.
+    """
+    cursors: dict = {}
+    for idx, m in enumerate(results):
+        lane = str(m.config.get("device", "grid"))
+        t = cursors.get(lane, 0.0)
+        tracer.complete(
+            f"{m.name}[{idx}]",
+            cat="sweep.point",
+            pid=f"sweep.{sweep_name}",
+            tid=lane,
+            ts=t,
+            dur=m.time,
+            args={"threads": m.config.get("threads"), "gflops": m.gflops},
+        )
+        cursors[lane] = t + m.time
+
+
 def grid_sweep(
     run_fn: Callable[..., Measurement],
     points: Iterable[Any],
     skip_infeasible: bool = True,
     workers: Optional[int] = None,
+    trace: Optional[Tracer] = None,
+    trace_name: str = "grid",
 ) -> ResultSet:
     """Price ``run_fn`` over ``points`` (tuples are splatted as arguments).
 
     The generic sweep behind every figure axis: message sizes, thread
-    counts, decompositions.  Feasible results arrive in grid order.
+    counts, decompositions.  Feasible results arrive in grid order.  An
+    active ``trace`` tracer receives one span per feasible point on lane
+    ``sweep.<trace_name>``/``<device>``.
     """
     priced = parallel_map(
         partial(_price_point, run_fn, skip_infeasible), list(points), workers=workers
     )
-    return ResultSet(m for m in priced if m is not None)
+    results = ResultSet(m for m in priced if m is not None)
+    tr = active(trace)
+    if tr is not None:
+        _emit_sweep_trace(tr, trace_name, results)
+    return results
 
 
 def _native_point(
@@ -106,6 +139,7 @@ def thread_sweep(
     thread_counts: Sequence[int],
     skip_infeasible: bool = True,
     workers: Optional[int] = None,
+    trace: Optional[Tracer] = None,
 ) -> ResultSet:
     """Native runs over a list of thread counts (Figs 19/21/25 x-axis)."""
     return grid_sweep(
@@ -113,6 +147,8 @@ def thread_sweep(
         thread_counts,
         skip_infeasible=skip_infeasible,
         workers=workers,
+        trace=trace,
+        trace_name=f"threads.{kernel.name}",
     )
 
 
@@ -127,6 +163,7 @@ def decomposition_sweep(
     decompositions: Iterable[Tuple[int, int]],
     skip_infeasible: bool = True,
     workers: Optional[int] = None,
+    trace: Optional[Tracer] = None,
 ) -> ResultSet:
     """(I MPI ranks × J OpenMP threads) sweep (Fig 22's x-axis).
 
@@ -142,6 +179,8 @@ def decomposition_sweep(
         points,
         skip_infeasible=skip_infeasible,
         workers=workers,
+        trace=trace,
+        trace_name="decomposition",
     )
 
 

@@ -23,6 +23,7 @@ from typing import Any, Callable, Generator, Optional
 
 from repro.errors import ConfigError
 from repro.mpi.messages import ANY_SOURCE, ANY_TAG, Envelope, match_filter
+from repro.obs.tracer import NULL_CONTEXT, Tracer, active
 from repro.simcore import Engine, Get, Process, Put, Store, Timeout, WaitEvent
 
 FabricResolver = Callable[[int, int], Any]
@@ -56,6 +57,10 @@ class Communicator:
     fabric_for:
         ``(src, dst) → fabric`` resolver; a single-device job uses a
         constant fabric, symmetric mode routes by device pair.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` recording per-rank
+        send/recv/collective spans (on lane ``trace_pid``/``rank<r>``)
+        and the point-to-point message-size matrix.
     """
 
     def __init__(
@@ -65,6 +70,8 @@ class Communicator:
         size: int,
         mailboxes: list,
         fabric_for: FabricResolver,
+        tracer: Optional[Tracer] = None,
+        trace_pid: str = "mpi",
     ):
         if not (0 <= rank < size):
             raise ConfigError(f"rank {rank} out of range for size {size}")
@@ -73,6 +80,9 @@ class Communicator:
         self.size = size
         self._mailboxes = mailboxes
         self._fabric_for = fabric_for
+        self.tracer = tracer
+        self._trace_pid = trace_pid
+        self._trace_tid = f"rank{rank}"
 
     # ------------------------------------------------------------ plumbing
 
@@ -96,12 +106,24 @@ class Communicator:
         tag: int = 0,
         payload: Any = None,
         pattern: str = "neighbor",
+        _lane: Optional[str] = None,
     ) -> Generator:
         """Blocking send (eager detaches after local copy; rendezvous
         blocks until the receiver matches)."""
         self._check_peer(dest)
         if nbytes < 0:
             raise ConfigError("nbytes must be non-negative")
+        tr = active(self.tracer)
+        sp = None
+        if tr is not None:
+            tr.message(self.rank, dest, nbytes)
+            sp = tr.begin(
+                f"send->{dest}",
+                cat="mpi.p2p",
+                pid=self._trace_pid,
+                tid=_lane or self._trace_tid,
+                args={"nbytes": nbytes, "tag": tag},
+            )
         fabric = self.fabric(dest)
         env = Envelope(
             source=self.rank,
@@ -117,15 +139,28 @@ class Communicator:
             yield Timeout(fabric.sender_time(nbytes))
         else:
             yield WaitEvent(env.done)
+        if tr is not None:
+            tr.end(sp)
 
     def recv(
         self,
         source: Optional[int] = ANY_SOURCE,
         tag: Optional[int] = ANY_TAG,
+        _lane: Optional[str] = None,
     ) -> Generator:
         """Blocking receive; returns the matched :class:`Envelope`."""
         if source is not None:
             self._check_peer(source)
+        tr = active(self.tracer)
+        sp = None
+        if tr is not None:
+            sp = tr.begin(
+                "recv",
+                cat="mpi.p2p",
+                pid=self._trace_pid,
+                tid=_lane or self._trace_tid,
+                args={"source": source, "tag": tag},
+            )
         env: Envelope = yield Get(
             self._mailboxes[self.rank], filter=match_filter(source, tag)
         )
@@ -142,6 +177,9 @@ class Communicator:
         if delay > 0:
             yield Timeout(delay)
         env.done.succeed(completion)
+        if tr is not None and sp is not None:
+            sp.args = {"source": env.source, "nbytes": env.nbytes, "tag": env.tag}
+            tr.end(sp)
         return env
 
     def isend(
@@ -149,7 +187,8 @@ class Communicator:
     ) -> Request:
         """Non-blocking send; returns a :class:`Request`."""
         proc = self.engine.spawn(
-            self.send(dest, nbytes, tag, payload), name=f"isend[{self.rank}->{dest}]"
+            self.send(dest, nbytes, tag, payload, _lane=self._nb_lane),
+            name=f"isend[{self.rank}->{dest}]",
         )
         return Request(proc)
 
@@ -158,9 +197,20 @@ class Communicator:
     ) -> Request:
         """Non-blocking receive; ``wait()`` returns the :class:`Envelope`."""
         proc = self.engine.spawn(
-            self.recv(source, tag), name=f"irecv[{self.rank}<-{source}]"
+            self.recv(source, tag, _lane=self._nb_lane),
+            name=f"irecv[{self.rank}<-{source}]",
         )
         return Request(proc)
+
+    @property
+    def _nb_lane(self) -> str:
+        """Trace lane for non-blocking operations.
+
+        isend/irecv bodies run as separate engine processes that overlap
+        the rank's own blocking spans; giving them a sibling lane keeps
+        the per-rank timeline strictly nested.
+        """
+        return f"{self._trace_tid}.nb"
 
     def sendrecv(
         self,
@@ -189,6 +239,7 @@ class Communicator:
         p = self.size
         if p == 1:
             return
+        sp = self._coll_span("barrier", 0)
         k = 1
         round_no = 0
         while k < p:
@@ -198,6 +249,37 @@ class Communicator:
             yield from self.sendrecv(dest, src, nbytes=0, tag=tag)
             k *= 2
             round_no += 1
+        self._coll_end(sp)
+
+    # ----------------------------------------------------------- tracing
+
+    def phase(self, name: str, cat: str = "app.phase") -> Any:
+        """Context manager spanning an application phase on this rank's
+        timeline lane (a no-op without a tracer)::
+
+            with comm.phase("iter3"):
+                z = yield from conj_grad(x)
+        """
+        tr = active(self.tracer)
+        if tr is None:
+            return NULL_CONTEXT
+        return tr.span(name, cat=cat, pid=self._trace_pid, tid=self._trace_tid)
+
+    def _coll_span(self, name: str, nbytes: int) -> Any:
+        tr = active(self.tracer)
+        if tr is None:
+            return None
+        return tr.begin(
+            name,
+            cat="mpi.coll",
+            pid=self._trace_pid,
+            tid=self._trace_tid,
+            args={"nbytes": nbytes},
+        )
+
+    def _coll_end(self, span: Any) -> None:
+        if span is not None and self.tracer is not None:
+            self.tracer.end(span)
 
     # --------------------------------------------------------- collectives
     # Implemented in repro.mpi.collectives as algorithms over this p2p
@@ -207,43 +289,57 @@ class Communicator:
     def bcast(self, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        sp = self._coll_span("bcast", nbytes)
         result = yield from collectives.bcast(self, value, root, nbytes)
+        self._coll_end(sp)
         return result
 
     def reduce(self, value: Any, op=None, root: int = 0, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        sp = self._coll_span("reduce", nbytes)
         result = yield from collectives.reduce(self, value, op, root, nbytes)
+        self._coll_end(sp)
         return result
 
     def allreduce(self, value: Any, op=None, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        sp = self._coll_span("allreduce", nbytes)
         result = yield from collectives.allreduce(self, value, op, nbytes)
+        self._coll_end(sp)
         return result
 
     def allgather(self, value: Any, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        sp = self._coll_span("allgather", nbytes)
         result = yield from collectives.allgather(self, value, nbytes)
+        self._coll_end(sp)
         return result
 
     def alltoall(self, values, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        sp = self._coll_span("alltoall", nbytes)
         result = yield from collectives.alltoall(self, values, nbytes)
+        self._coll_end(sp)
         return result
 
     def gather(self, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        sp = self._coll_span("gather", nbytes)
         result = yield from collectives.gather(self, value, root, nbytes)
+        self._coll_end(sp)
         return result
 
     def scatter(self, values, root: int = 0, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        sp = self._coll_span("scatter", nbytes)
         result = yield from collectives.scatter(self, values, root, nbytes)
+        self._coll_end(sp)
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

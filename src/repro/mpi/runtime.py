@@ -20,9 +20,18 @@ from typing import Any, Callable, Generator, List, Optional, Union
 
 from repro.errors import ConfigError
 from repro.mpi.api import Communicator, FabricResolver
+from repro.obs.tracer import Tracer, active
 from repro.simcore import Engine, Store
 
 RankMain = Callable[[Communicator], Generator]
+
+
+def _traced_rank(tracer: Tracer, pid: str, rank: int, gen: Generator) -> Generator:
+    """Wrap a rank main in a lifetime span on its timeline lane."""
+    span = tracer.begin(f"rank{rank}", cat="mpi.rank", pid=pid, tid=f"rank{rank}")
+    result = yield from gen
+    tracer.end(span)
+    return result
 
 
 @dataclass
@@ -46,12 +55,16 @@ class MpiJob:
         fabric: Union[Any, FabricResolver],
         engine: Optional[Engine] = None,
         name: str = "mpijob",
+        tracer: Optional[Tracer] = None,
     ):
         if n_ranks < 1:
             raise ConfigError("n_ranks must be >= 1")
         self.n_ranks = n_ranks
         self.engine = engine or Engine()
         self.name = name
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_engine(self.engine)
         if callable(fabric) and not hasattr(fabric, "p2p_time"):
             self._fabric_for: FabricResolver = fabric
         else:
@@ -61,16 +74,25 @@ class MpiJob:
 
     def communicator(self, rank: int) -> Communicator:
         return Communicator(
-            self.engine, rank, self.n_ranks, self.mailboxes, self._fabric_for
+            self.engine,
+            rank,
+            self.n_ranks,
+            self.mailboxes,
+            self._fabric_for,
+            tracer=self.tracer,
+            trace_pid=self.name,
         )
 
     def launch(self, main: RankMain) -> None:
-        """Spawn ``main(comm)`` once per rank."""
+        """Spawn ``main(comm)`` once per rank (with lifetime spans when
+        the job carries a tracer)."""
+        tr = active(self.tracer)
         for rank in range(self.n_ranks):
             comm = self.communicator(rank)
-            self._procs.append(
-                self.engine.spawn(main(comm), name=f"{self.name}.rank{rank}")
-            )
+            gen = main(comm)
+            if tr is not None:
+                gen = _traced_rank(tr, self.name, rank, gen)
+            self._procs.append(self.engine.spawn(gen, name=f"{self.name}.rank{rank}"))
 
     def run(self, until: Optional[float] = None) -> JobResult:
         """Run the engine to completion; returns elapsed time + rank returns."""
@@ -87,8 +109,9 @@ def mpiexec(
     fabric: Union[Any, FabricResolver],
     main: RankMain,
     engine: Optional[Engine] = None,
+    tracer: Optional[Tracer] = None,
 ) -> JobResult:
     """Launch and run ``main`` on ``n_ranks`` simulated ranks."""
-    job = MpiJob(n_ranks, fabric, engine=engine)
+    job = MpiJob(n_ranks, fabric, engine=engine, tracer=tracer)
     job.launch(main)
     return job.run()

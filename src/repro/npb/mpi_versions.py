@@ -58,10 +58,11 @@ def ep_mpi(
     if compute_model is not None:
         yield from comm.compute(compute_model(part.mops * 1e6 * part.wall_seconds))
 
-    sx = yield from comm.allreduce(part.details["sx"], nbytes=8)
-    sy = yield from comm.allreduce(part.details["sy"], nbytes=8)
-    counts = np.array([part.details[f"count_{i}"] for i in range(10)])
-    total_counts = yield from comm.allreduce(counts, op=np.add, nbytes=80)
+    with comm.phase("reduce"):
+        sx = yield from comm.allreduce(part.details["sx"], nbytes=8)
+        sy = yield from comm.allreduce(part.details["sy"], nbytes=8)
+        counts = np.array([part.details[f"count_{i}"] for i in range(10)])
+        total_counts = yield from comm.allreduce(counts, op=np.add, nbytes=80)
 
     ref_sx, ref_sy = ep_serial.REFERENCE[problem]
     verified = verify_close(sx, ref_sx, ep_serial.EPSILON, "sx") and verify_close(
@@ -143,16 +144,18 @@ def cg_mpi(
 
     x_local = np.ones(local_n)
     # Warm-up iteration, then reset (per the NPB spec).
-    z = yield from conj_grad(x_local)
-    zz = yield from dot(z, z)
+    with comm.phase("warmup"):
+        z = yield from conj_grad(x_local)
+        zz = yield from dot(z, z)
     x_local = z / np.sqrt(zz)
 
     x_local = np.ones(local_n)
     zeta = 0.0
-    for _ in range(niter):
-        z = yield from conj_grad(x_local)
-        xz = yield from dot(x_local, z)
-        zz = yield from dot(z, z)
+    for it in range(niter):
+        with comm.phase(f"iter{it}"):
+            z = yield from conj_grad(x_local)
+            xz = yield from dot(x_local, z)
+            zz = yield from dot(z, z)
         zeta = shift + 1.0 / xz
         x_local = z / np.sqrt(zz)
 
@@ -223,11 +226,12 @@ def ft_mpi(
         return np.concatenate(received, axis=2)  # (zloc, ny, nx)
 
     # Forward 3D FFT: local 2D over (y, x), transpose, local 1D over z.
-    slab = np.fft.fft2(my_slab, axes=(1, 2))
-    tr = yield from transpose_zx(slab)
-    tr = np.fft.fft(tr, axis=2)
-    if compute_model is not None:
-        yield from comm.compute(compute_model(5.0 * total / p * np.log2(total)))
+    with comm.phase("fft-forward"):
+        slab = np.fft.fft2(my_slab, axes=(1, 2))
+        tr = yield from transpose_zx(slab)
+        tr = np.fft.fft(tr, axis=2)
+        if compute_model is not None:
+            yield from comm.compute(compute_model(5.0 * total / p * np.log2(total)))
 
     # Twiddle factors for our transposed block (x-local layout).
     def bar(n: int) -> np.ndarray:
@@ -246,17 +250,18 @@ def ft_mpi(
 
     checksums = []
     u0 = tr
-    for _ in range(niter):
-        u0 = u0 * twiddle
-        # Inverse: 1D over z, transpose back, 2D over (y, x); NPB's
-        # inverse is unnormalized, so multiply the 1/N factors back out.
-        w = np.fft.ifft(u0, axis=2) * nz
-        slab_back = yield from transpose_xz(w)
-        u2 = np.fft.ifft2(slab_back, axes=(1, 2)) * (nx * ny)
-        local = complex(
-            u2[s[mine] - comm.rank * zloc, r[mine], q[mine]].sum() / total
-        )
-        chk = yield from comm.allreduce(local, nbytes=16)
+    for it in range(niter):
+        with comm.phase(f"iter{it}"):
+            u0 = u0 * twiddle
+            # Inverse: 1D over z, transpose back, 2D over (y, x); NPB's
+            # inverse is unnormalized, so multiply the 1/N factors back out.
+            w = np.fft.ifft(u0, axis=2) * nz
+            slab_back = yield from transpose_xz(w)
+            u2 = np.fft.ifft2(slab_back, axes=(1, 2)) * (nx * ny)
+            local = complex(
+                u2[s[mine] - comm.rank * zloc, r[mine], q[mine]].sum() / total
+            )
+            chk = yield from comm.allreduce(local, nbytes=16)
         checksums.append(chk)
 
     verified = True
@@ -297,9 +302,10 @@ def is_mpi(comm: Communicator, problem: str = "S") -> Generator:
     bucket_width = -(-max_key // p)  # ceil
     dest = np.minimum(local // bucket_width, p - 1)
     outgoing = [local[dest == d] for d in range(p)]
-    received = yield from comm.alltoall(
-        outgoing, nbytes=int(np.mean([o.nbytes for o in outgoing])) or 1
-    )
+    with comm.phase("redistribute"):
+        received = yield from comm.alltoall(
+            outgoing, nbytes=int(np.mean([o.nbytes for o in outgoing])) or 1
+        )
     mine = np.sort(np.concatenate(received)) if received else np.array([], int)
 
     # Global sortedness: locally sorted, and my largest key must not

@@ -1,0 +1,101 @@
+"""Per-rank ASCII timelines for terminals.
+
+Renders a tracer's complete spans as one bar per (pid, tid) lane over the
+simulated-time axis — the poor man's Vampir.  Each category gets a fill
+character; within a bucket the innermost (deepest) span wins, so a rank
+sitting inside ``allreduce`` → ``send`` shows the send.
+
+Example output::
+
+    simulated timeline  0.000000s .. 0.000310s  (width 60)
+    mpijob/rank0 |====##====##--  |
+    mpijob/rank1 |==##====##----  |
+    legend: = mpi.coll  # mpi.p2p  - app.phase
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.tracer import TraceEvent, Tracer
+
+#: Fill characters handed to categories in order of first appearance.
+FILL_CHARS = "=#-+*o%@&~"
+
+
+def _pick_events(
+    tracer: Tracer, categories: Optional[Iterable[str]]
+) -> List[TraceEvent]:
+    wanted = set(categories) if categories is not None else None
+    return [
+        e
+        for e in tracer.events
+        if e.ph == "X" and e.dur > 0.0 and (wanted is None or e.cat in wanted)
+    ]
+
+
+def render_timeline(
+    tracer: Tracer,
+    width: int = 60,
+    categories: Optional[Iterable[str]] = None,
+) -> str:
+    """Render every lane's spans as a fixed-width ASCII bar.
+
+    ``categories`` restricts the plot (e.g. ``["mpi.coll", "mpi.p2p"]``);
+    by default every complete span with non-zero duration is drawn.
+    """
+    events = _pick_events(tracer, categories)
+    if not events:
+        return "(no spans recorded)"
+    t0 = min(e.ts for e in events)
+    t1 = max(e.end for e in events)
+    extent = t1 - t0
+    if extent <= 0.0:
+        extent = 1.0
+
+    lanes: Dict[Tuple[str, str], List[TraceEvent]] = {}
+    for e in events:
+        lanes.setdefault((e.pid, e.tid), []).append(e)
+
+    char_for: Dict[str, str] = {}
+    for e in events:
+        if e.cat not in char_for:
+            char_for[e.cat] = FILL_CHARS[len(char_for) % len(FILL_CHARS)]
+
+    label_width = max(len(f"{pid}/{tid}") for pid, tid in lanes)
+    rows = [f"simulated timeline  {t0:.6f}s .. {t1:.6f}s  (width {width})"]
+    for (pid, tid), spans in lanes.items():
+        cells = [" "] * width
+        depth = [-1] * width
+        for e in spans:
+            lo = int((e.ts - t0) / extent * width)
+            hi = int((e.end - t0) / extent * width)
+            lo = max(0, min(width - 1, lo))
+            hi = max(lo + 1, min(width, hi))
+            ch = char_for[e.cat]
+            for i in range(lo, hi):
+                if e.depth > depth[i]:
+                    depth[i] = e.depth
+                    cells[i] = ch
+        label = f"{pid}/{tid}".ljust(label_width)
+        rows.append(f"{label} |{''.join(cells)}|")
+    legend = "  ".join(f"{ch} {cat}" for cat, ch in char_for.items())
+    rows.append(f"legend: {legend}")
+    return "\n".join(rows)
+
+
+def render_comm_matrix(tracer: Tracer) -> str:
+    """The message-size matrix as a small table (bytes sent src -> dst)."""
+    matrix = tracer.comm_matrix()
+    if not matrix:
+        return "(no messages recorded)"
+    ranks = sorted({r for pair in matrix for r in pair})
+    head = "src\\dst " + " ".join(f"{r:>9d}" for r in ranks)
+    rows = [head]
+    for src in ranks:
+        cells = []
+        for dst in ranks:
+            cell = matrix.get((src, dst))
+            cells.append(f"{int(cell['bytes']):>9d}" if cell else f"{'.':>9}")
+        rows.append(f"{src:>7d} " + " ".join(cells))
+    return "\n".join(rows)

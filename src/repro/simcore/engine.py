@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from repro.errors import DeadlockError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.tracer import Tracer
 from repro.simcore.process import (
     Acquire,
     AllOf,
@@ -35,11 +38,16 @@ class Engine:
     now:
         Current simulated time in seconds.  Starts at 0.0 and only moves
         forward.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` receiving scheduler
+        events (process spawn/block/retire, resource grants).  ``None``
+        by default; every hook is guarded by a single attribute check so
+        the disabled path costs nothing on the hot loop.
     """
 
-    __slots__ = ("now", "_queue", "_seq", "_live", "_nsteps")
+    __slots__ = ("now", "_queue", "_seq", "_live", "_nsteps", "tracer")
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional["Tracer"] = None) -> None:
         self.now: float = 0.0
         self._queue: List[tuple] = []  # (time, seq, proc, value, exc)
         self._seq = count()
@@ -48,6 +56,9 @@ class Engine:
         # while keeping spawn order for deterministic deadlock reports.
         self._live: Dict[Process, None] = {}
         self._nsteps = 0
+        self.tracer: Optional["Tracer"] = None
+        if tracer is not None:
+            tracer.bind_engine(self)
 
     # ------------------------------------------------------------------ API
 
@@ -62,15 +73,33 @@ class Engine:
         proc = Process(self, gen, name=name)
         self._live[proc] = None
         self._schedule_step(proc, None)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant(
+                "spawn",
+                cat="engine.proc",
+                pid="engine",
+                tid="sched",
+                args={"proc": proc.name},
+            )
         return proc
 
-    def run(self, until: Optional[float] = None, detect_deadlock: bool = True) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        detect_deadlock: bool = True,
+        trace: Optional["Tracer"] = None,
+    ) -> float:
         """Drain the event queue (up to time ``until`` if given).
 
         Returns the final simulated time.  If the queue drains while
         spawned processes are still blocked and ``detect_deadlock`` is
         true, raises :class:`~repro.errors.DeadlockError` naming them.
+        Passing ``trace`` binds that tracer to this engine (equivalent to
+        ``tracer.bind_engine(engine)`` before spawning).
         """
+        if trace is not None:
+            trace.bind_engine(self)
         queue = self._queue
         pop = heapq.heappop
         step = self._step
@@ -126,9 +155,29 @@ class Engine:
         except StopIteration as stop:
             proc._blocked_on = None
             self._live.pop(proc, None)
+            tr = self.tracer
+            if tr is not None and tr.enabled:
+                tr.instant(
+                    "retire",
+                    cat="engine.proc",
+                    pid="engine",
+                    tid="sched",
+                    args={"proc": proc.name},
+                )
             proc.done.succeed(stop.value)
             return
         self._dispatch(proc, cmd)
+
+    def _trace_block(self, proc: Process) -> None:
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant(
+                "block",
+                cat="engine.proc",
+                pid="engine",
+                tid="sched",
+                args={"proc": proc.name, "on": proc._blocked_on},
+            )
 
     def _dispatch(self, proc: Process, cmd: Any) -> None:
         # Convenience: yielding a Process or an Event waits on it directly.
@@ -147,6 +196,7 @@ class Engine:
             else:
                 proc._blocked_on = f"event:{ev.name}"
                 ev._waiters.append(proc)
+                self._trace_block(proc)
         elif isinstance(cmd, AllOf):
             self._dispatch_allof(proc, cmd)
         elif isinstance(cmd, Get):
@@ -157,6 +207,7 @@ class Engine:
             else:
                 proc._blocked_on = f"get:{store.name}"
                 store._getters.append((proc, cmd.filter))
+                self._trace_block(proc)
         elif isinstance(cmd, Put):
             store = cmd.store
             if not store._offer(cmd.item):
@@ -166,10 +217,20 @@ class Engine:
             res = cmd.resource
             if res.available > 0:
                 res.in_use += 1
+                tr = self.tracer
+                if tr is not None and tr.enabled:
+                    tr.instant(
+                        "acquire",
+                        cat="engine.res",
+                        pid="engine",
+                        tid="resources",
+                        args={"resource": res.name, "proc": proc.name},
+                    )
                 self._schedule_step(proc, None)
             else:
                 proc._blocked_on = f"acquire:{res.name}"
                 res._waiters.append(proc)
+                self._trace_block(proc)
         elif isinstance(cmd, Command):  # pragma: no cover - future commands
             raise SimulationError(f"unhandled command {cmd!r}")
         else:

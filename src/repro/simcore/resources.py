@@ -118,17 +118,22 @@ class Resource:
     :meth:`release` (releasing takes no simulated time).  When a slot is
     released while processes wait, the slot transfers directly to the
     longest-waiting process (FIFO, no barging).
+
+    An optional ``tracer`` (:class:`repro.obs.tracer.Tracer`) receives a
+    ``release`` instant per released slot; acquire grants are traced by
+    the engine, which owns the dispatch.
     """
 
-    __slots__ = ("name", "capacity", "in_use", "_waiters")
+    __slots__ = ("name", "capacity", "in_use", "_waiters", "tracer")
 
-    def __init__(self, capacity: int = 1, name: str = "resource"):
+    def __init__(self, capacity: int = 1, name: str = "resource", tracer: Any = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.name = name
         self.capacity = int(capacity)
         self.in_use = 0
         self._waiters: Deque[Any] = deque()  # blocked Process objects
+        self.tracer = tracer
 
     @property
     def available(self) -> int:
@@ -142,11 +147,22 @@ class Resource:
         """Free one slot, transferring it to the next waiter if any."""
         if self.in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
+        handoff = None
         if self._waiters:
             proc = self._waiters.popleft()
+            handoff = proc.name
             proc.engine._schedule_step(proc, None)  # slot transfers; in_use unchanged
         else:
             self.in_use -= 1
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant(
+                "release",
+                cat="engine.res",
+                pid="engine",
+                tid="resources",
+                args={"resource": self.name, "handoff": handoff},
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Resource {self.name} {self.in_use}/{self.capacity}>"

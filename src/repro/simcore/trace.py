@@ -1,15 +1,29 @@
-"""Lightweight instrumentation for simulations.
+"""Lightweight instrumentation for simulations (legacy layer).
 
 :class:`Counter` accumulates named totals (bytes moved, messages sent);
 :class:`TimeSeries` records (time, value) samples; :class:`Monitor`
-bundles both and is what higher layers (MPI runtime, offload engine)
-accept as an optional ``trace`` argument.
+bundles both and is what higher layers historically accepted as an
+optional ``trace`` argument.
+
+.. deprecated::
+    :class:`Monitor` is superseded by :class:`repro.obs.tracer.Tracer`,
+    which records nested spans against the simulated clock and exports
+    Chrome traces, timelines and determinism digests.  ``Monitor``
+    remains as a shim: constructing one warns, and a monitor built with
+    ``Monitor(tracer=...)`` routes every ``add``/``record`` into the
+    tracer's counter stream so old call sites feed the new subsystem.
+
+Long sweeps used to grow :class:`TimeSeries` without bound; pass
+``max_samples`` to cap memory with a deterministic decimating reservoir
+(when full, every other sample is dropped and the sampling stride
+doubles, preserving an even spread over the whole run).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class Counter:
@@ -41,14 +55,37 @@ class Counter:
 
 
 class TimeSeries:
-    """A sequence of (time, value) samples with summary statistics."""
+    """A sequence of (time, value) samples with summary statistics.
 
-    def __init__(self, name: str = "series"):
+    ``max_samples`` (optional, >= 8) bounds memory: when the buffer
+    fills, every other retained sample is dropped and only every
+    ``stride``-th subsequent :meth:`record` call is kept, with the stride
+    doubling on each compaction.  The result is a deterministic,
+    evenly-thinned view of the full series — no RNG, so two identical
+    simulations keep identical samples.
+    """
+
+    def __init__(self, name: str = "series", max_samples: Optional[int] = None):
+        if max_samples is not None and max_samples < 8:
+            raise ValueError("max_samples must be >= 8")
         self.name = name
         self.samples: List[Tuple[float, float]] = []
+        self.max_samples = max_samples
+        self.n_recorded = 0  # total record() calls, kept or not
+        self._stride = 1
+        self._pending = 0
 
     def record(self, time: float, value: float) -> None:
+        self.n_recorded += 1
+        if self.max_samples is not None:
+            self._pending += 1
+            if self._pending < self._stride:
+                return
+            self._pending = 0
         self.samples.append((float(time), float(value)))
+        if self.max_samples is not None and len(self.samples) >= self.max_samples:
+            del self.samples[1::2]
+            self._stride *= 2
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -87,20 +124,45 @@ class TimeSeries:
 
 
 class Monitor:
-    """Bundle of counters and time series used as a trace sink."""
+    """Bundle of counters and time series used as a trace sink.
 
-    def __init__(self) -> None:
+    .. deprecated::
+        Use :class:`repro.obs.tracer.Tracer`.  This shim still works, and
+        when built with a ``tracer`` it forwards ``add``/``record`` calls
+        into the tracer's counter stream (category ``monitor``), so code
+        still holding a ``Monitor`` feeds the new observability layer.
+    """
+
+    def __init__(
+        self,
+        max_samples: Optional[int] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        warnings.warn(
+            "simcore.Monitor is deprecated; use repro.obs.Tracer "
+            "(spans, Chrome export, digests) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.counters = Counter()
+        self.max_samples = max_samples
+        self.tracer = tracer
         self._series: Dict[str, TimeSeries] = {}
 
     def series(self, name: str) -> TimeSeries:
         ts = self._series.get(name)
         if ts is None:
-            ts = self._series[name] = TimeSeries(name)
+            ts = self._series[name] = TimeSeries(name, max_samples=self.max_samples)
         return ts
 
     def add(self, key: str, amount: float = 1.0) -> None:
         self.counters.add(key, amount)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.counter(key, self.counters.total(key), cat="monitor")
 
     def record(self, name: str, time: float, value: float) -> None:
         self.series(name).record(time, value)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.counter(name, value, cat="monitor")

@@ -118,7 +118,8 @@ class TestTrace:
         assert ts.time_weighted_mean(2.0) == pytest.approx(5.0)
 
     def test_monitor_bundles(self):
-        m = Monitor()
+        with pytest.warns(DeprecationWarning):
+            m = Monitor()
         m.add("events", 2)
         m.record("util", 0.0, 0.5)
         m.record("util", 1.0, 0.7)
