@@ -2,9 +2,10 @@
 
 Runs the :mod:`repro.perf.selfbench` campaigns (simulated allreduce at
 16/64/256 ranks, the NPB MG Class C sweep through the evaluation cache,
-the full Fig-22 decomposition campaign, an engine spawn/join storm) and
-writes ``BENCH_selfperf.json`` so the simulator's own performance
-trajectory is tracked across PRs.
+the full Fig-22 decomposition campaign serial and batched, an engine
+spawn/join storm, and — with ``--scale`` — a P=4096 allreduce through
+the analytic collective fast path) and writes ``BENCH_selfperf.json``
+so the simulator's own performance trajectory is tracked across PRs.
 
 Run as a script (mirrors ``python -m repro bench``)::
 
@@ -41,17 +42,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true", help="small grids (CI smoke mode)"
     )
     parser.add_argument(
-        "--output", default="BENCH_selfperf.json", metavar="PATH",
+        "--output", "--out", dest="output",
+        default="BENCH_selfperf.json", metavar="PATH",
         help="JSON report path ('-' to skip writing)",
+    )
+    parser.add_argument(
+        "--scale", action="store_true",
+        help="add the large-P scaling campaign (P=4096 allreduce via the "
+        "analytic collective fast path)",
     )
     args = parser.parse_args(argv)
 
     output = None if args.output == "-" else args.output
-    report = run_selfperf(workers=args.parallel, quick=args.quick, output=output)
+    report = run_selfperf(
+        workers=args.parallel, quick=args.quick, output=output, scale=args.scale
+    )
     print(render_report(report))
     if output:
         print(f"\nreport written to {output}")
-    return 0 if report["campaigns"]["fig22"].get("identical", True) else 1
+    c = report["campaigns"]
+    ok = c["fig22"].get("identical", True) and c["fig22_batch"]["identical"]
+    if args.scale:
+        ok = ok and c["scale"]["correct"]
+    return 0 if ok else 1
 
 
 def test_selfperf_quick(tmp_path):
@@ -59,14 +72,17 @@ def test_selfperf_quick(tmp_path):
     from repro.perf.selfbench import run_selfperf
 
     out = tmp_path / "BENCH_selfperf.json"
-    report = run_selfperf(workers=2, quick=True, output=str(out))
+    report = run_selfperf(workers=2, quick=True, output=str(out), scale=True)
     assert out.exists()
     c = report["campaigns"]
     assert all(p["correct"] for p in c["allreduce"]["points"])
     assert c["mg_sweep"]["identical"]
     assert c["fig22"]["identical"]
     assert c["fig22"]["feasible"] == c["fig22"]["points"] == 9
+    assert c["fig22_batch"]["identical"]
+    assert c["fig22_batch"]["feasible"] > 0
     assert c["engine_storm"]["engine_steps"] > 0
+    assert c["scale"]["correct"] and c["scale"]["ranks"] == 512
 
 
 if __name__ == "__main__":

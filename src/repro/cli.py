@@ -398,15 +398,20 @@ def _cmd_modes() -> int:
     return 0
 
 
-def _cmd_bench(parallel: int, quick: bool, output: Optional[str]) -> int:
+def _cmd_bench(
+    parallel: int, quick: bool, output: Optional[str], scale: bool = False
+) -> int:
     from repro.perf.selfbench import render_report, run_selfperf
 
-    report = run_selfperf(workers=parallel, quick=quick, output=output)
+    report = run_selfperf(workers=parallel, quick=quick, output=output, scale=scale)
     _print(render_report(report))
     if output:
         _print(f"\nreport written to {output}")
-    fig22 = report["campaigns"]["fig22"]
-    return 0 if fig22.get("identical", True) else 1
+    c = report["campaigns"]
+    ok = c["fig22"].get("identical", True) and c["fig22_batch"]["identical"]
+    if scale:
+        ok = ok and c["scale"]["correct"]
+    return 0 if ok else 1
 
 
 #: Experiments the ``trace`` command can record.
@@ -531,8 +536,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true", help="small grids (CI smoke mode)"
     )
     p_bench.add_argument(
-        "--output", default="BENCH_selfperf.json", metavar="PATH",
+        "--output", "--out", dest="output",
+        default="BENCH_selfperf.json", metavar="PATH",
         help="JSON report path ('-' to skip writing)",
+    )
+    p_bench.add_argument(
+        "--scale", action="store_true",
+        help="add the large-P scaling campaign (P=4096 allreduce via the "
+        "analytic collective fast path)",
     )
     p_trace = sub.add_parser(
         "trace", help="record a Chrome trace of one simulated experiment"
@@ -587,7 +598,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0 if cs.all_passed else 1
     if args.command == "bench":
         output = None if args.output == "-" else args.output
-        return _cmd_bench(args.parallel, args.quick, output)
+        return _cmd_bench(args.parallel, args.quick, output, args.scale)
     if args.command == "trace":
         return _cmd_trace(args)
     return 2  # pragma: no cover

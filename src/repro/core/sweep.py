@@ -28,6 +28,7 @@ from repro.core.results import Measurement, ResultSet
 from repro.execmodel.kernel import KernelSpec
 from repro.machine.node import Device
 from repro.obs.tracer import Tracer, active
+from repro.perf.batch import HAVE_NUMPY as _HAVE_NUMPY
 from repro.perf.parallel import parallel_map
 from repro.units import KiB
 
@@ -140,11 +141,38 @@ def thread_sweep(
     skip_infeasible: bool = True,
     workers: Optional[int] = None,
     trace: Optional[Tracer] = None,
+    batch: Optional[bool] = None,
 ) -> ResultSet:
-    """Native runs over a list of thread counts (Figs 19/21/25 x-axis)."""
+    """Native runs over a list of thread counts (Figs 19/21/25 x-axis).
+
+    ``batch=None`` (the default) evaluates the whole axis in one
+    vectorized :meth:`Evaluator.native_batch` call whenever NumPy is
+    available and the sweep is serial — identical results in identical
+    order, including cache interaction.  ``batch=False`` forces the
+    per-point path; ``batch=True`` demands batching even under
+    ``workers`` (the batch is already one array pass, so pooling it
+    adds nothing).
+    """
+    counts = list(thread_counts)
+    use_batch = (
+        batch
+        if batch is not None
+        else _HAVE_NUMPY and (workers is None or workers <= 1)
+    )
+    if use_batch:
+        priced = evaluator.native_batch(dev, kernel, counts)
+        if not skip_infeasible:
+            for i, m in enumerate(priced):
+                if m is None:
+                    evaluator.native(dev, kernel, counts[i])  # raise scalar error
+        results = ResultSet(m for m in priced if m is not None)
+        tr = active(trace)
+        if tr is not None:
+            _emit_sweep_trace(tr, f"threads.{kernel.name}", results)
+        return results
     return grid_sweep(
         partial(_native_point, evaluator, kernel, dev),
-        thread_counts,
+        counts,
         skip_infeasible=skip_infeasible,
         workers=workers,
         trace=trace,

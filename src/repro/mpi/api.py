@@ -24,25 +24,33 @@ from typing import Any, Callable, Generator, Optional
 from repro.errors import ConfigError
 from repro.mpi.messages import ANY_SOURCE, ANY_TAG, Envelope, match_filter
 from repro.obs.tracer import NULL_CONTEXT, Tracer, active
-from repro.simcore import Engine, Get, Process, Put, Store, Timeout, WaitEvent
+from repro.simcore import Engine, Event, Get, Put, Timeout, WaitEvent
 
 FabricResolver = Callable[[int, int], Any]
 
 
 class Request:
-    """Handle for a non-blocking operation (wraps the worker process)."""
+    """Handle for a non-blocking operation (wraps its completion event).
 
-    def __init__(self, proc: Process):
-        self._proc = proc
+    The event is a worker process's ``done`` for stepped operations, or
+    a bare completion event for inline eager/rendezvous isends (which
+    skip the worker generator entirely when tracing is off).
+    """
+
+    __slots__ = ("_event", "_keep_value")
+
+    def __init__(self, event: Event, keep_value: bool = True):
+        self._event = event
+        self._keep_value = keep_value
 
     def wait(self) -> Generator:
         """Block until the operation completes; returns its result."""
-        result = yield WaitEvent(self._proc.done)
-        return result
+        result = yield WaitEvent(self._event)
+        return result if self._keep_value else None
 
     @property
     def complete(self) -> bool:
-        return self._proc.finished
+        return self._event.triggered
 
 
 class Communicator:
@@ -61,6 +69,11 @@ class Communicator:
         Optional :class:`~repro.obs.tracer.Tracer` recording per-rank
         send/recv/collective spans (on lane ``trace_pid``/``rank<r>``)
         and the point-to-point message-size matrix.
+    fast:
+        Optional :class:`~repro.mpi.fastpath.FastCollectives` shared by
+        the job's ranks.  When set (uniform fabric) and no tracer is
+        active, the symmetric collectives short-circuit to their exact
+        analytic schedules instead of stepping every rank.
     """
 
     def __init__(
@@ -72,6 +85,7 @@ class Communicator:
         fabric_for: FabricResolver,
         tracer: Optional[Tracer] = None,
         trace_pid: str = "mpi",
+        fast: Optional[Any] = None,
     ):
         if not (0 <= rank < size):
             raise ConfigError(f"rank {rank} out of range for size {size}")
@@ -83,6 +97,8 @@ class Communicator:
         self.tracer = tracer
         self._trace_pid = trace_pid
         self._trace_tid = f"rank{rank}"
+        self._fast = fast
+        self._fast_seq = 0  # this rank's fast-collective call counter
 
     # ------------------------------------------------------------ plumbing
 
@@ -185,12 +201,43 @@ class Communicator:
     def isend(
         self, dest: int, nbytes: int, tag: int = 0, payload: Any = None
     ) -> Request:
-        """Non-blocking send; returns a :class:`Request`."""
+        """Non-blocking send; returns a :class:`Request`.
+
+        Without an active tracer the worker generator is elided: the
+        envelope is deposited synchronously (same instant, same mailbox
+        order a spawned worker would produce) and the request completes
+        via a process-less timer (eager) or the envelope's own done
+        event (rendezvous).  Traced sends keep the worker so its span
+        lands on the ``.nb`` lane.
+        """
+        if active(self.tracer) is None:
+            self._check_peer(dest)
+            if nbytes < 0:
+                raise ConfigError("nbytes must be non-negative")
+            engine = self.engine
+            fabric = self.fabric(dest)
+            env = Envelope(
+                source=self.rank,
+                dest=dest,
+                tag=tag,
+                nbytes=nbytes,
+                post_time=engine.now,
+                payload=payload,
+            )
+            mbox = self._mailboxes[dest]
+            if not mbox._offer(env):
+                mbox.items.append(env)
+            if nbytes <= fabric.eager_max:
+                done = Event(name=f"isend[{self.rank}->{dest}].done")
+                engine.call_at(fabric.sender_time(nbytes), done.succeed)
+                return Request(done)
+            # Rendezvous: the sender completes when the receiver matches.
+            return Request(env.done, keep_value=False)
         proc = self.engine.spawn(
             self.send(dest, nbytes, tag, payload, _lane=self._nb_lane),
             name=f"isend[{self.rank}->{dest}]",
         )
-        return Request(proc)
+        return Request(proc.done)
 
     def irecv(
         self, source: Optional[int] = ANY_SOURCE, tag: Optional[int] = ANY_TAG
@@ -200,7 +247,7 @@ class Communicator:
             self.recv(source, tag, _lane=self._nb_lane),
             name=f"irecv[{self.rank}<-{source}]",
         )
-        return Request(proc)
+        return Request(proc.done)
 
     @property
     def _nb_lane(self) -> str:
@@ -284,11 +331,33 @@ class Communicator:
     # --------------------------------------------------------- collectives
     # Implemented in repro.mpi.collectives as algorithms over this p2p
     # layer; bound here for ergonomic access (imported lazily to avoid a
-    # cycle at import time).
+    # cycle at import time).  On uniform jobs without an active tracer the
+    # symmetric collectives short-circuit to the analytic fast path
+    # (repro.mpi.fastpath), which reproduces DES timing to float precision.
+
+    def _fast_collective(self, kind: str, value: Any, nbytes: int,
+                         root: int = 0, op=None) -> Generator:
+        seq = self._fast_seq
+        self._fast_seq += 1
+        result = yield from self._fast.run(
+            self, seq, kind, value, nbytes, root=root, op=op
+        )
+        return result
+
+    def _use_fast(self) -> bool:
+        return (
+            self._fast is not None
+            and self.size > 1
+            and active(self.tracer) is None
+        )
 
     def bcast(self, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        if self._use_fast():
+            self._check_peer(root)
+            return (yield from self._fast_collective("bcast", value, nbytes,
+                                                     root=root))
         sp = self._coll_span("bcast", nbytes)
         result = yield from collectives.bcast(self, value, root, nbytes)
         self._coll_end(sp)
@@ -305,6 +374,9 @@ class Communicator:
     def allreduce(self, value: Any, op=None, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        if self._use_fast():
+            return (yield from self._fast_collective("allreduce", value,
+                                                     nbytes, op=op))
         sp = self._coll_span("allreduce", nbytes)
         result = yield from collectives.allreduce(self, value, op, nbytes)
         self._coll_end(sp)
@@ -313,6 +385,8 @@ class Communicator:
     def allgather(self, value: Any, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        if self._use_fast():
+            return (yield from self._fast_collective("allgather", value, nbytes))
         sp = self._coll_span("allgather", nbytes)
         result = yield from collectives.allgather(self, value, nbytes)
         self._coll_end(sp)
@@ -321,6 +395,8 @@ class Communicator:
     def alltoall(self, values, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        if self._use_fast():
+            return (yield from self._fast_collective("alltoall", values, nbytes))
         sp = self._coll_span("alltoall", nbytes)
         result = yield from collectives.alltoall(self, values, nbytes)
         self._coll_end(sp)

@@ -353,6 +353,314 @@ def scatter(
 
 
 # ==========================================================================
+# Exact per-rank schedules (the analytic fast path)
+# ==========================================================================
+#
+# Each ``*_schedule`` function replays one collective's communication
+# pattern as a max-plus recurrence over per-rank clock vectors instead of
+# stepping every rank through the event engine.  The recurrences encode
+# the engine's exact eager/rendezvous timing semantics:
+#
+# * eager send:    sender detaches after ``sender_time``; the receiver
+#                  completes at ``max(recv_post, send_post + p2p_time)``.
+# * rendezvous:    both sides synchronize, then transfer:
+#                  ``max(recv_post, send_post) + p2p_time`` — and the
+#                  sender's request completes at the same instant.
+#
+# Because they mirror the executable algorithms above *hop for hop*
+# (same tree shapes, same per-round message sizes, same algorithm
+# switches), the schedules agree with full DES runs to float precision —
+# a property the test suite gates at 1e-9 relative error.  ``arrivals``
+# lets callers model ranks entering the collective at different times;
+# all-zero arrivals give the canonical "everyone ready" time.
+
+
+def _wire(fabric, nbytes: int):
+    """(p2p transfer, sender occupancy, is-eager) for one message size."""
+    return (
+        fabric.p2p_time(nbytes),
+        fabric.sender_time(nbytes),
+        nbytes <= fabric.eager_max,
+    )
+
+
+def _arrivals(p: int, arrivals: Optional[List[float]]) -> List[float]:
+    if arrivals is None:
+        return [0.0] * p
+    if len(arrivals) != p:
+        raise ConfigError(f"need {p} arrival times, got {len(arrivals)}")
+    return list(arrivals)
+
+
+def _binomial_bcast_times(
+    fabric, p: int, nbytes: int, root: int, t: List[float]
+) -> List[float]:
+    """Small-message binomial broadcast: per-rank completion times."""
+    tp, ts, eager = _wire(fabric, nbytes)
+    finish = [0.0] * p
+    mask0 = 1
+    while mask0 < p:
+        mask0 <<= 1
+
+    # visit(vrank, ready, mask): ``ready`` is when this rank holds the
+    # value; it then serves children at masks mask>>1 .. 1, its local
+    # clock advancing per send exactly as the generator's does.
+    stack = [(0, t[root], mask0)]
+    while stack:
+        vrank, ready, mask = stack.pop()
+        s = ready
+        mm = mask >> 1
+        while mm > 0:
+            cv = vrank + mm
+            if cv < p:
+                child = (cv + root) % p
+                if eager:
+                    recv_done = max(t[child], s + tp)
+                    s += ts
+                else:
+                    recv_done = max(t[child], s) + tp
+                    s = recv_done
+                stack.append((cv, recv_done, mm))
+            mm >>= 1
+        finish[(vrank + root) % p] = s
+    return finish
+
+
+def _scatter_times(
+    fabric, p: int, nbytes: int, root: int, t: List[float]
+) -> List[float]:
+    """Binomial scatter with per-hop sizes ``nbytes × |subtree blocks|``."""
+    finish = [0.0] * p
+    mask0 = 1
+    while mask0 < p:
+        mask0 <<= 1
+    stack = [(0, t[root], mask0)]
+    while stack:
+        vrank, ready, mask = stack.pop()
+        hi = min(vrank + mask, p)  # blocks held: [vrank, hi)
+        s = ready
+        mm = mask >> 1
+        while mm > 0:
+            cv = vrank + mm
+            if cv < p:
+                sz = nbytes * max(1, hi - cv)
+                tp, ts, eager = _wire(fabric, sz)
+                child = (cv + root) % p
+                if eager:
+                    recv_done = max(t[child], s + tp)
+                    s += ts
+                else:
+                    recv_done = max(t[child], s) + tp
+                    s = recv_done
+                stack.append((cv, recv_done, mm))
+                hi = cv
+            mm >>= 1
+        finish[(vrank + root) % p] = s
+    return finish
+
+
+def _ring_times(fabric, p: int, nbytes: int, t: List[float]) -> List[float]:
+    """Ring allgather: p−1 rounds of send-right/recv-left at block size."""
+    tp, ts, eager = _wire(fabric, nbytes)
+    if p == 1:
+        return list(t)
+    lo, hi = min(t), max(t)
+    if lo == hi:
+        # Uniform arrivals: every round advances all ranks by the same
+        # per-round cost, so the recurrence collapses to closed form.
+        per_round = max(ts, tp) if eager else tp
+        return [lo + (p - 1) * per_round] * p
+    np = _numpy()
+    if np is not None and p >= 128:
+        v = np.asarray(t, dtype=float)
+        for _ in range(p - 1):
+            left = np.roll(v, 1)
+            if eager:
+                v = np.maximum(v + ts, left + tp)
+            else:
+                v = np.maximum(np.maximum(v, left), np.roll(v, -1)) + tp
+        return [float(x) for x in v]
+    cur = list(t)
+    for _ in range(p - 1):
+        if eager:
+            cur = [
+                max(cur[i] + ts, cur[i - 1] + tp) for i in range(p)
+            ]
+        else:
+            cur = [
+                max(cur[i], cur[i - 1], cur[(i + 1) % p]) + tp for i in range(p)
+            ]
+    return cur
+
+
+def _numpy():
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised in no-numpy CI
+        return None
+    return numpy
+
+
+def bcast_schedule(
+    fabric,
+    p: int,
+    nbytes: int,
+    root: int = 0,
+    arrivals: Optional[List[float]] = None,
+) -> List[float]:
+    """Per-rank completion times of :func:`bcast` on a uniform fabric."""
+    t = _arrivals(p, arrivals)
+    if p == 1:
+        return t
+    if nbytes <= LARGE_MESSAGE_SWITCH:
+        return _binomial_bcast_times(fabric, p, nbytes, root, t)
+    chunk = max(1, nbytes // p)
+    after_scatter = _scatter_times(fabric, p, chunk, root, t)
+    return _ring_times(fabric, p, chunk, after_scatter)
+
+
+def allreduce_schedule(
+    fabric,
+    p: int,
+    nbytes: int,
+    arrivals: Optional[List[float]] = None,
+) -> List[float]:
+    """Per-rank completion times of :func:`allreduce` on a uniform fabric."""
+    t = _arrivals(p, arrivals)
+    if p == 1:
+        return t
+    tp, ts, eager = _wire(fabric, nbytes)
+    tred = fabric.reduce_time(nbytes)
+    m = int(math.log2(p))
+    pow2 = 1 << m
+    r = p - pow2
+
+    # Fold-in: even ranks below 2r send to their odd neighbour and wait.
+    even_ready = [0.0] * p  # when even rank 2k posts its hand-back recv
+    surv = [0.0] * pow2  # clock per surviving new_rank
+    for rank in range(p):
+        if rank < 2 * r:
+            if rank % 2:
+                a, b = t[rank - 1], t[rank]
+                if eager:
+                    recv_done = max(b, a + tp)
+                    even_ready[rank - 1] = a + ts
+                else:
+                    recv_done = max(a, b) + tp
+                    even_ready[rank - 1] = recv_done
+                surv[rank // 2] = recv_done + tred
+        else:
+            surv[rank - r] = t[rank]
+
+    # Recursive doubling among the 2^m survivors.
+    mask = 1
+    while mask < pow2:
+        surv = [
+            (max(surv[i] + ts, surv[i ^ mask] + tp) if eager
+             else max(surv[i], surv[i ^ mask]) + tp) + tred
+            for i in range(pow2)
+        ]
+        mask <<= 1
+
+    # Fan back out to the folded even ranks.
+    finish = [0.0] * p
+    for nr in range(pow2):
+        rank = nr * 2 + 1 if nr < r else nr + r
+        f = surv[nr]
+        if rank < 2 * r:
+            if eager:
+                finish[rank] = f + ts
+                finish[rank - 1] = max(even_ready[rank - 1], f + tp)
+            else:
+                done = max(even_ready[rank - 1], f) + tp
+                finish[rank] = done
+                finish[rank - 1] = done
+        else:
+            finish[rank] = f
+    return finish
+
+
+def allgather_schedule(
+    fabric,
+    p: int,
+    nbytes: int,
+    arrivals: Optional[List[float]] = None,
+) -> List[float]:
+    """Per-rank completion times of :func:`allgather` on a uniform fabric."""
+    t = _arrivals(p, arrivals)
+    if p == 1:
+        return t
+    if nbytes > ALLGATHER_RING_SWITCH:
+        return _ring_times(fabric, p, nbytes, t)
+    if p & (p - 1) == 0:
+        # Recursive doubling; round k exchanges 2^k accumulated blocks.
+        mask = 1
+        k = 0
+        while mask < p:
+            tp, ts, eager = _wire(fabric, nbytes << k)
+            t = [
+                max(t[i] + ts, t[i ^ mask] + tp) if eager
+                else max(t[i], t[i ^ mask]) + tp
+                for i in range(p)
+            ]
+            mask <<= 1
+            k += 1
+        return t
+    # Bruck: doubling shifted transfers of min(k, p−k) blocks.
+    k = 1
+    while k < p:
+        sz = nbytes * min(k, p - k)
+        tp, ts, eager = _wire(fabric, sz)
+        if eager:
+            t = [max(t[i] + ts, t[(i + k) % p] + tp) for i in range(p)]
+        else:
+            t = [
+                max(t[i], t[(i + k) % p], t[(i - k) % p]) + tp
+                for i in range(p)
+            ]
+        k <<= 1
+    return t
+
+
+def alltoall_schedule(
+    fabric,
+    p: int,
+    nbytes: int,
+    arrivals: Optional[List[float]] = None,
+) -> List[float]:
+    """Per-rank completion times of :func:`alltoall` on a uniform fabric."""
+    t = _arrivals(p, arrivals)
+    if p == 1:
+        return t
+    tp, ts, eager = _wire(fabric, nbytes)
+    pow2 = p & (p - 1) == 0
+    for rnd in range(1, p):
+        if pow2:
+            if eager:
+                t = [max(t[i] + ts, t[i ^ rnd] + tp) for i in range(p)]
+            else:
+                t = [max(t[i], t[i ^ rnd]) + tp for i in range(p)]
+        else:
+            if eager:
+                t = [max(t[i] + ts, t[(i - rnd) % p] + tp) for i in range(p)]
+            else:
+                t = [
+                    max(t[i], t[(i - rnd) % p], t[(i + rnd) % p]) + tp
+                    for i in range(p)
+                ]
+    return t
+
+
+#: Schedule functions by collective kind (the fast path's dispatch table).
+SCHEDULES = {
+    "bcast": bcast_schedule,
+    "allreduce": allreduce_schedule,
+    "allgather": allgather_schedule,
+    "alltoall": alltoall_schedule,
+}
+
+
+# ==========================================================================
 # Closed-form cost models (per-operation wall time)
 # ==========================================================================
 

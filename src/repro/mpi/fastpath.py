@@ -1,0 +1,186 @@
+"""Analytic collective fast paths for uniform communicators.
+
+Stepping a P-rank collective through the event engine costs
+O(P log P) generator resumptions, envelope matches and heap operations —
+the wall-clock wall that keeps full-system reproductions (the paper's
+128-node Maia, 61 440 Phi threads) out of reach.  But when every rank
+pair sees the *same* fabric (no per-rank divergence), a collective's
+timing is a deterministic function of the per-rank entry times, and
+:mod:`repro.mpi.collectives` knows the closed recurrence for it
+(``*_schedule``).
+
+This module short-circuits the four symmetric collectives (bcast,
+allreduce, allgather, alltoall) on such *uniform* jobs: each rank
+deposits its value and arrival time into a shared per-job instance; the
+last rank to arrive evaluates the exact schedule, computes every rank's
+result (replaying the algorithm's combination order, so payloads are
+bit-identical to the stepped run), and wakes the others.  Each rank then
+sleeps until its own analytic finish time.  Fast-path and full-DES times
+agree to float precision — the test suite gates 1e-9 — because the
+schedules mirror the executable algorithms hop for hop.
+
+The fast path is *off* when
+
+* the job's fabric is a resolver (per-rank divergence possible),
+* a tracer is active (per-rank send/recv spans must be recorded), or
+* the job was built with ``fast_collectives=False``.
+
+One caveat: with skewed arrivals, a rank whose analytic finish precedes
+the last arrival (possible only for bcast — early subtrees are causally
+independent of late ranks) resumes at the resolution instant instead;
+with simultaneous arrivals every finish is exact.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.mpi.collectives import SCHEDULES
+from repro.simcore import Timeout, WaitEvent
+from repro.simcore.resources import Event
+
+__all__ = ["FastCollectives"]
+
+
+class _Instance:
+    """One collective occurrence: the rendezvous of all ranks' arrivals."""
+
+    __slots__ = ("kind", "nbytes", "root", "op", "arrivals", "values",
+                 "pending", "events")
+
+    def __init__(self, size: int, kind: str, nbytes: int, root: int, op):
+        self.kind = kind
+        self.nbytes = nbytes
+        self.root = root
+        self.op = op
+        self.arrivals: List[float] = [0.0] * size
+        self.values: List[Any] = [None] * size
+        self.pending = size
+        self.events: List[Optional[Event]] = [None] * size
+
+    def check(self, kind: str, nbytes: int, root: int) -> None:
+        if (kind, nbytes, root) != (self.kind, self.nbytes, self.root):
+            raise ConfigError(
+                f"mismatched collective calls: {self.kind}(nbytes={self.nbytes},"
+                f" root={self.root}) vs {kind}(nbytes={nbytes}, root={root})"
+            )
+
+
+class FastCollectives:
+    """Shared per-job state driving the analytic collective fast path.
+
+    One instance per :class:`~repro.mpi.runtime.MpiJob`; the job's
+    communicators all reference it.  Collective occurrences are matched
+    across ranks by call order (each rank's n-th fast collective joins
+    instance n — the MPI requirement that all ranks issue collectives in
+    the same sequence), and mismatched parameters raise
+    :class:`~repro.errors.ConfigError` instead of deadlocking.
+    """
+
+    def __init__(self, fabric: Any, size: int):
+        self.fabric = fabric
+        self.size = size
+        self._instances: Dict[int, _Instance] = {}
+
+    # ------------------------------------------------------------- protocol
+
+    def run(self, comm, seq: int, kind: str, value: Any,
+            nbytes: int, root: int = 0, op: Optional[Callable] = None):
+        """Generator driving one rank through collective occurrence ``seq``."""
+        inst = self._instances.get(seq)
+        if inst is None:
+            inst = self._instances[seq] = _Instance(
+                self.size, kind, nbytes, root, op
+            )
+        else:
+            inst.check(kind, nbytes, root)
+        rank = comm.rank
+        engine = comm.engine
+        if kind == "alltoall" and value is not None and len(value) != self.size:
+            raise ConfigError(
+                f"alltoall needs {self.size} values, got {len(value)}"
+            )
+        inst.arrivals[rank] = engine.now
+        inst.values[rank] = value
+        inst.pending -= 1
+        if inst.pending > 0:
+            ev = Event(name=f"coll[{seq}].rank{rank}")
+            inst.events[rank] = ev
+            finish, result = yield WaitEvent(ev)
+        else:
+            del self._instances[seq]  # last arrival resolves the occurrence
+            finishes = SCHEDULES[kind](
+                self.fabric, self.size, nbytes,
+                **({"root": root} if kind == "bcast" else {}),
+                arrivals=inst.arrivals,
+            )
+            results = _RESULTS[kind](inst)
+            for r in range(self.size):
+                ev_r = inst.events[r]
+                if ev_r is not None:
+                    ev_r.succeed((finishes[r], results[r]))
+            finish, result = finishes[rank], results[rank]
+        delay = finish - engine.now
+        if delay > 0:
+            yield Timeout(delay)
+        return result
+
+
+# --------------------------------------------------------------------------
+# Per-rank results, replaying each algorithm's combination order so the
+# payloads (including float rounding for reductions) match the stepped run.
+# --------------------------------------------------------------------------
+
+
+def _bcast_results(inst: _Instance) -> List[Any]:
+    return [inst.values[inst.root]] * len(inst.values)
+
+
+def _allreduce_results(inst: _Instance) -> List[Any]:
+    op = operator.add if inst.op is None else inst.op
+    values = inst.values
+    p = len(values)
+    pow2 = 1 << (p.bit_length() - 1)
+    r = p - pow2
+    # Fold-in: odd ranks below 2r absorb their even neighbour's value.
+    vals: List[Any] = [None] * pow2
+    for rank in range(p):
+        if rank < 2 * r:
+            if rank % 2:
+                vals[rank // 2] = op(values[rank], values[rank - 1])
+        else:
+            vals[rank - r] = values[rank]
+    mask = 1
+    while mask < pow2:
+        vals = [op(vals[i], vals[i ^ mask]) for i in range(pow2)]
+        mask <<= 1
+    out: List[Any] = [None] * p
+    for nr in range(pow2):
+        rank = nr * 2 + 1 if nr < r else nr + r
+        out[rank] = vals[nr]
+        if rank < 2 * r:
+            out[rank - 1] = vals[nr]  # hand-back to the folded even rank
+    return out
+
+
+def _allgather_results(inst: _Instance) -> List[Any]:
+    return [list(inst.values) for _ in inst.values]
+
+
+def _alltoall_results(inst: _Instance) -> List[Any]:
+    p = len(inst.values)
+    return [
+        [inst.values[src][dst] if inst.values[src] is not None else None
+         for src in range(p)]
+        for dst in range(p)
+    ]
+
+
+_RESULTS: Dict[str, Callable[[_Instance], List[Any]]] = {
+    "bcast": _bcast_results,
+    "allreduce": _allreduce_results,
+    "allgather": _allgather_results,
+    "alltoall": _alltoall_results,
+}

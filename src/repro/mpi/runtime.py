@@ -47,7 +47,16 @@ class JobResult:
 
 
 class MpiJob:
-    """N simulated ranks wired to mailboxes over a fabric."""
+    """N simulated ranks wired to mailboxes over a fabric.
+
+    ``fast_collectives`` controls the analytic collective fast path
+    (:mod:`repro.mpi.fastpath`): ``None`` (default) enables it exactly
+    when the job is *uniform* — built over a single fabric object, so no
+    rank pair diverges; ``True`` demands it (raising
+    :class:`~repro.errors.ConfigError` on a non-uniform resolver fabric,
+    whose per-rank divergence the analytic schedules cannot express);
+    ``False`` forces every collective through the stepped algorithms.
+    """
 
     def __init__(
         self,
@@ -56,6 +65,7 @@ class MpiJob:
         engine: Optional[Engine] = None,
         name: str = "mpijob",
         tracer: Optional[Tracer] = None,
+        fast_collectives: Optional[bool] = None,
     ):
         if n_ranks < 1:
             raise ConfigError("n_ranks must be >= 1")
@@ -65,10 +75,21 @@ class MpiJob:
         self.tracer = tracer
         if tracer is not None:
             tracer.bind_engine(self.engine)
-        if callable(fabric) and not hasattr(fabric, "p2p_time"):
-            self._fabric_for: FabricResolver = fabric
-        else:
+        uniform = not (callable(fabric) and not hasattr(fabric, "p2p_time"))
+        if uniform:
             self._fabric_for = lambda src, dst: fabric
+        else:
+            self._fabric_for = fabric
+        if fast_collectives and not uniform:
+            raise ConfigError(
+                "fast_collectives requires a uniform fabric (a single Fabric "
+                "object); this job routes by rank pair and must step every rank"
+            )
+        self.fast = None
+        if (fast_collectives or fast_collectives is None) and uniform and n_ranks > 1:
+            from repro.mpi.fastpath import FastCollectives
+
+            self.fast = FastCollectives(fabric, n_ranks)
         self.mailboxes = [Store(name=f"{name}.mbox[{r}]") for r in range(n_ranks)]
         self._procs = []
 
@@ -81,6 +102,7 @@ class MpiJob:
             self._fabric_for,
             tracer=self.tracer,
             trace_pid=self.name,
+            fast=self.fast,
         )
 
     def launch(self, main: RankMain) -> None:
@@ -110,8 +132,12 @@ def mpiexec(
     main: RankMain,
     engine: Optional[Engine] = None,
     tracer: Optional[Tracer] = None,
+    fast_collectives: Optional[bool] = None,
 ) -> JobResult:
     """Launch and run ``main`` on ``n_ranks`` simulated ranks."""
-    job = MpiJob(n_ranks, fabric, engine=engine, tracer=tracer)
+    job = MpiJob(
+        n_ranks, fabric, engine=engine, tracer=tracer,
+        fast_collectives=fast_collectives,
+    )
     job.launch(main)
     return job.run()

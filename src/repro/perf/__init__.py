@@ -8,19 +8,25 @@ across figures.  This package makes the campaign itself fast:
   fan-out for sweep grids and multi-figure campaigns.
 * :mod:`repro.perf.cache` — a memoized evaluation cache keyed by a
   stable fingerprint of the full specification, with hit/miss counters.
+* :mod:`repro.perf.batch` — the optional-NumPy gate for the vectorized
+  batch-evaluation paths (``pip install repro[fast]``), with a graceful
+  single-warning scalar fallback.
 * :mod:`repro.perf.selfbench` — the self-benchmark campaigns behind
   ``repro bench`` and ``benchmarks/bench_selfperf.py``, which track the
   simulator's own performance trajectory across PRs.
 """
 
+from repro.perf.batch import HAVE_NUMPY, get_numpy
 from repro.perf.cache import CacheStats, EvalCache, fingerprint
 from repro.perf.parallel import default_workers, parallel_map, parallel_tasks
 
 __all__ = [
     "CacheStats",
     "EvalCache",
+    "HAVE_NUMPY",
     "default_workers",
     "fingerprint",
+    "get_numpy",
     "parallel_map",
     "parallel_tasks",
 ]

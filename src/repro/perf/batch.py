@@ -1,0 +1,51 @@
+"""NumPy gate for the vectorized batch-evaluation path.
+
+The batch evaluators (:mod:`repro.execmodel.batch`, the ``batch=`` sweep
+paths) vectorize whole figure axes into array operations.  NumPy is an
+*optional* accelerator for this — ``pip install repro[fast]`` — and its
+absence must degrade gracefully: every batch entry point falls back to
+the per-point scalar loop, producing identical results, and the first
+fallback emits a single :class:`~warnings.UserWarning` so slow campaigns
+are explainable without being noisy.
+
+This module is the one place that knows whether NumPy is importable;
+everything else asks :data:`HAVE_NUMPY` / :func:`get_numpy` instead of
+importing ``numpy`` directly.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Optional
+
+__all__ = ["HAVE_NUMPY", "get_numpy", "warn_scalar_fallback"]
+
+try:  # pragma: no cover - exercised in the no-numpy CI job
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
+    HAVE_NUMPY = False
+
+_warned = False
+
+
+def get_numpy() -> Optional[Any]:
+    """The ``numpy`` module, or ``None`` when it is not installed."""
+    return _np
+
+
+def warn_scalar_fallback(context: str) -> None:
+    """Warn (once per process) that ``context`` fell back to scalar loops."""
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        f"numpy is not installed; {context} falls back to per-point scalar "
+        "evaluation (identical results, slower). Install the 'fast' extra "
+        "(pip install repro[fast]) for vectorized batch evaluation.",
+        UserWarning,
+        stacklevel=3,
+    )

@@ -22,7 +22,7 @@ import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
 
 __all__ = ["CacheStats", "EvalCache", "fingerprint"]
 
@@ -170,6 +170,31 @@ class EvalCache:
             while len(self._data) > self.max_entries:
                 self._data.popitem(last=False)
                 self.stats.evictions += 1
+
+    def get_many(self, keys: Iterable[str], default: Any = None) -> list:
+        """Batch lookup: one value (or ``default``) per key, in order.
+
+        Counts a hit or a miss for *every* key individually — a batch
+        that finds 60 of 64 points cached records 60 hits and 4 misses,
+        not one aggregate miss — so :attr:`stats` stays comparable
+        between per-point and batched campaigns.
+        """
+        out = []
+        for key in keys:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                out.append(default)
+            else:
+                self.stats.hits += 1
+                self._data.move_to_end(key)
+                out.append(value)
+        return out
+
+    def put_many(self, pairs: Iterable[Tuple[str, Any]]) -> None:
+        """Store ``(key, value)`` pairs (LRU eviction applies per insert)."""
+        for key, value in pairs:
+            self.put(key, value)
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing and storing on miss.

@@ -2,8 +2,8 @@
 
 The ROADMAP's north star is a system that runs as fast as the hardware
 allows; this module is how we know whether we are getting there.  It
-times four representative workloads and writes ``BENCH_selfperf.json``
-so the performance trajectory is tracked across PRs:
+times representative workloads and writes ``BENCH_selfperf.json`` so
+the performance trajectory is tracked across PRs:
 
 * ``allreduce`` — discrete-event MPI_Allreduce simulations at 16, 64
   and 256 ranks (the simcore + MPI-runtime hot path).
@@ -14,8 +14,16 @@ so the performance trajectory is tracked across PRs:
   decomposition campaign: every point prices the step *and* runs a
   simcore ring halo-exchange validation at I ranks.  This is the
   campaign used to demonstrate parallel-sweep speedup.
+* ``fig22_batch`` — the 64×64 decomposition lattice priced per-point
+  vs through the vectorized batch path
+  (:meth:`~repro.apps.overflow.OverflowModel.decomposition_sweep` with
+  ``batch=True``) on both devices, asserting point-by-point identity
+  and reporting the speedup.
 * ``engine_storm`` — a spawn/join storm on the raw engine (the O(1)
   process-retirement regression guard).
+* ``scale`` — (opt-in via ``scale=True`` / ``--scale``) MPI_Allreduce
+  at 4096 ranks on the Phi fabric through the analytic collective fast
+  path, the large-P scalability headline.
 
 All campaigns are deterministic: a parallel run must produce exactly
 the same points as a serial run, and :func:`run_selfperf` checks that
@@ -34,10 +42,12 @@ from repro.perf.parallel import parallel_map
 __all__ = [
     "allreduce_campaign",
     "engine_storm",
+    "fig22_batch_campaign",
     "fig22_campaign",
     "fig22_grid",
     "mg_cache_campaign",
     "run_selfperf",
+    "scale_campaign",
     "spawn_join_storm",
 ]
 
@@ -256,6 +266,110 @@ def fig22_campaign(
 
 
 # ==========================================================================
+# Campaign 3b: batched Fig-22 lattice (vectorized vs per-point pricing)
+# ==========================================================================
+
+
+def fig22_batch_campaign(quick: bool = False) -> Dict[str, Any]:
+    """Price a full I × J Fig-22 lattice per-point and vectorized.
+
+    The grid is the complete ``side × side`` decomposition lattice on
+    both devices (64 × 64 = 4096 points each by default); the batched
+    path prices every feasible point in a handful of array operations
+    and must return *identical* measurements in identical order.  Both
+    paths are timed best-of-``reps`` so the reported speedup is stable
+    on noisy runners.
+    """
+    from repro.apps import OverflowModel, dataset
+    from repro.machine.node import Device
+    from repro.perf.batch import HAVE_NUMPY
+
+    side = 16 if quick else 64
+    reps = 1 if quick else 3
+    grid = [(i, j) for i in range(1, side + 1) for j in range(1, side + 1)]
+    model = OverflowModel(dataset("DLRF6-Medium"))
+    devices = (Device.HOST, Device.PHI0)
+
+    report: Dict[str, Any] = {
+        "side": side,
+        "points": len(grid) * len(devices),
+        "numpy": HAVE_NUMPY,
+        "devices": {},
+    }
+    serial_total = 0.0
+    batch_total = 0.0
+    identical = True
+    feasible = 0
+    for dev in devices:
+        serial_best = batch_best = float("inf")
+        r_serial = r_batch = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            r_serial = model.decomposition_sweep(dev, grid, batch=False, workers=1)
+            serial_best = min(serial_best, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            r_batch = model.decomposition_sweep(dev, grid, batch=True)
+            batch_best = min(batch_best, time.perf_counter() - t0)
+        same = r_batch == r_serial
+        identical = identical and same
+        feasible += len(r_serial)
+        serial_total += serial_best
+        batch_total += batch_best
+        report["devices"][dev.value] = {
+            "feasible": len(r_serial),
+            "serial_wall_s": serial_best,
+            "batch_wall_s": batch_best,
+            "speedup": serial_best / batch_best if batch_best > 0 else float("inf"),
+            "identical": same,
+        }
+    report["feasible"] = feasible
+    report["serial_wall_s"] = serial_total
+    report["batch_wall_s"] = batch_total
+    report["speedup"] = (
+        serial_total / batch_total if batch_total > 0 else float("inf")
+    )
+    report["identical"] = identical
+    return report
+
+
+# ==========================================================================
+# Campaign 5: large-P scaling (analytic collective fast path)
+# ==========================================================================
+
+
+def scale_campaign(quick: bool = False) -> Dict[str, Any]:
+    """Simulate MPI_Allreduce at large P through the analytic fast path.
+
+    The stepped discrete-event algorithms make P = 4096 a multi-minute
+    run; the analytic schedules (:mod:`repro.mpi.fastpath`) resolve the
+    whole collective from the per-rank arrival times, so the same
+    simulation is a sub-second rendezvous.  Correctness is asserted on
+    every rank's reduction payload.
+    """
+    from repro.mpi.fabrics import phi_fabric
+    from repro.mpi.runtime import mpiexec
+    from repro.simcore import Engine
+
+    ranks = 512 if quick else 4096
+    nbytes = 65536
+    engine = Engine()
+    t0 = time.perf_counter()
+    job = mpiexec(
+        ranks, phi_fabric(2), partial(_allreduce_main, nbytes), engine=engine
+    )
+    wall = time.perf_counter() - t0
+    expected = ranks * (ranks - 1) // 2
+    return {
+        "ranks": ranks,
+        "nbytes": nbytes,
+        "wall_s": wall,
+        "sim_elapsed": job.elapsed,
+        "engine_steps": engine.timeline(),
+        "correct": all(r == expected for r in job.returns),
+    }
+
+
+# ==========================================================================
 # Campaign 4: engine spawn/join storm (O(1) retirement guard)
 # ==========================================================================
 
@@ -303,12 +417,14 @@ def run_selfperf(
     workers: int = 1,
     quick: bool = False,
     output: Optional[str] = "BENCH_selfperf.json",
+    scale: bool = False,
 ) -> Dict[str, Any]:
     """Run all campaigns; optionally write the JSON report to ``output``.
 
     With ``workers > 1`` the Fig-22 campaign is run both serially and in
     parallel: the report records the wall-clock speedup and asserts the
-    two result lists are identical.
+    two result lists are identical.  ``scale`` adds the large-P scaling
+    campaign (P = 4096 allreduce through the analytic fast path).
     """
     from repro.perf.parallel import default_workers
 
@@ -347,7 +463,14 @@ def run_selfperf(
     fig22["results"] = serial_points
     report["campaigns"]["fig22"] = fig22
 
+    t0 = time.perf_counter()
+    report["campaigns"]["fig22_batch"] = fig22_batch_campaign(quick)
+    report["campaigns"]["fig22_batch"]["wall_s"] = time.perf_counter() - t0
+
     report["campaigns"]["engine_storm"] = engine_storm(quick)
+
+    if scale:
+        report["campaigns"]["scale"] = scale_campaign(quick)
 
     if output:
         with open(output, "w") as fh:
@@ -376,10 +499,24 @@ def render_report(report: Dict[str, Any]) -> str:
              f"{report.get('host_cpus', '?')} cpu(s), "
              f"identical={c['fig22']['identical']}")
         )
+    fb = c.get("fig22_batch")
+    if fb is not None:
+        rows.append(
+            (f"Fig-22 batched ({fb['side']}x{fb['side']})",
+             f"{fb['batch_wall_s']:.3f}",
+             f"speedup {fb['speedup']:.1f}x vs per-point "
+             f"({fb['serial_wall_s']:.3f}s), identical={fb['identical']}")
+        )
     rows.append(
         ("engine storm", f"{c['engine_storm']['wall_s']:.3f}",
          f"{c['engine_storm']['processes']} procs, "
          f"{c['engine_storm']['engine_steps']} steps")
     )
+    sc = c.get("scale")
+    if sc is not None:
+        rows.append(
+            (f"scale: allreduce P={sc['ranks']}", f"{sc['wall_s']:.3f}",
+             f"{sc['engine_steps']} steps, correct={sc['correct']}")
+        )
     return render_table(("campaign", "wall (s)", "notes"), rows,
                         title="simulator self-benchmark")

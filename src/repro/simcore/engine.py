@@ -1,22 +1,27 @@
 """The discrete-event engine: virtual clock + process scheduler.
 
-The engine owns a priority queue of pending process resumptions keyed by
+The engine owns a queue of pending process resumptions ordered by
 ``(time, sequence)``; the sequence number breaks ties FIFO so simulations
-are fully deterministic.  Processes are plain generators; composition uses
-``yield from`` (a subroutine call costs nothing simulated), and
-concurrency uses :meth:`Engine.spawn` plus joining on ``proc.done``.
+are fully deterministic.  The queue is a two-tier
+:class:`~repro.simcore.eventq.CalendarQueue` — a FIFO bucket for the
+dominant current-instant events plus a heap for future ones — which
+keeps scheduling near-linear in events at large process counts.
+Processes are plain generators; composition uses ``yield from`` (a
+subroutine call costs nothing simulated), and concurrency uses
+:meth:`Engine.spawn` plus joining on ``proc.done``.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop
 from itertools import count
-from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional
 
 from repro.errors import DeadlockError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.obs.tracer import Tracer
+from repro.simcore.eventq import CANCELLED, CalendarQueue
 from repro.simcore.process import (
     Acquire,
     AllOf,
@@ -49,7 +54,7 @@ class Engine:
 
     def __init__(self, tracer: Optional["Tracer"] = None) -> None:
         self.now: float = 0.0
-        self._queue: List[tuple] = []  # (time, seq, proc, value, exc)
+        self._queue = CalendarQueue()  # [time, seq, proc, value, exc] entries
         self._seq = count()
         # Insertion-ordered set of unfinished processes.  A dict gives O(1)
         # retirement (``list.remove`` made completing n processes O(n^2))
@@ -100,17 +105,38 @@ class Engine:
         """
         if trace is not None:
             trace.bind_engine(self)
-        queue = self._queue
-        pop = heapq.heappop
+        q = self._queue
+        bucket = q.bucket
+        heap = q.heap
+        pop = heappop
         step = self._step
-        while queue:
-            if until is not None and queue[0][0] > until:
-                self.now = until
-                return self.now
-            t, _seq, proc, value, exc = pop(queue)
+        while bucket or heap:
+            if bucket:
+                head = bucket[0]
+                # A heap entry shares the bucket's instant only via float
+                # underflow of a positive delay; order by seq then.
+                if heap and heap[0][0] <= head[0] and heap[0][1] < head[1]:
+                    entry = pop(heap)
+                else:
+                    entry = bucket.popleft()
+            else:
+                if until is not None and heap[0][0] > until:
+                    self.now = q.now = until
+                    return self.now
+                entry = pop(heap)
+            t, _seq, proc, value, exc = entry
+            q._recycle(entry)
+            if proc is CANCELLED:
+                q._n_cancelled -= 1
+                continue
             if t < self.now:
                 raise SimulationError("time went backwards")  # pragma: no cover
-            self.now = t
+            self.now = q.now = t
+            if proc is None:
+                # Process-less thunk (e.g. an inline isend completion
+                # timer): call it directly, no generator frame involved.
+                value()
+                continue
             step(proc, value, exc)
         if detect_deadlock:
             blocked = [p for p in self._live if not p.finished]
@@ -131,6 +157,18 @@ class Engine:
 
     # ----------------------------------------------------------- internals
 
+    def call_at(self, delay: float, fn: Callable[[], Any]) -> list:
+        """Schedule plain callable ``fn`` to run after ``delay`` seconds.
+
+        Thunks occupy one queue entry and no generator frame — the cheap
+        half of :meth:`spawn` for fire-and-forget completions (e.g. an
+        eager isend's sender-side timer).  Returns the queue entry, which
+        ``self._queue.cancel`` tombstones in O(1).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self._queue.push(self.now + delay, next(self._seq), None, fn, None)
+
     def _schedule_step(
         self,
         proc: Process,
@@ -138,9 +176,7 @@ class Engine:
         delay: float = 0.0,
         exc: Optional[BaseException] = None,
     ) -> None:
-        heapq.heappush(
-            self._queue, (self.now + delay, next(self._seq), proc, value, exc)
-        )
+        self._queue.push(self.now + delay, next(self._seq), proc, value, exc)
 
     def _step(
         self, proc: Process, value: Any = None, exc: Optional[BaseException] = None

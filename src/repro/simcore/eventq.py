@@ -1,0 +1,175 @@
+"""Two-tier calendar event queue for the discrete-event engine.
+
+A discrete-event MPI simulation is dominated by *current-instant*
+events: a rank resuming after a ``Put``, an envelope hand-off, an event
+wake-up — all scheduled with zero delay at the clock's current value.
+A binary heap pays O(log n) comparisons to file each of them behind
+events that are already strictly ordered.
+
+:class:`CalendarQueue` splits the timeline into two tiers, the way a
+calendar queue's "today" bucket splits from its year view:
+
+* ``bucket`` — a FIFO deque of entries scheduled *at the current
+  instant*.  Sequence numbers are allocated monotonically, so appending
+  preserves (time, seq) order with O(1) push/pop and zero comparisons.
+* ``heap`` — a binary heap of strictly-future entries.
+
+The total order is identical to a single ``(time, seq)`` heap: every
+future entry that reaches the current instant was pushed *before* the
+instant began, hence carries a smaller sequence number than any bucket
+entry, and the one boundary case (a positive delay that underflows to
+``now + delay == now``) is caught by comparing head sequence numbers.
+
+Entries are small mutable lists ``[time, seq, proc, value, exc]``:
+
+* mutability gives O(1) **lazy deletion** — :meth:`cancel` tombstones an
+  entry in place (dead entries are skipped at pop time, so cancelling
+  never reheapifies);
+* popped entry lists are recycled through a bounded free pool, sparing
+  the allocator on the hot path of long runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, List, Optional
+
+__all__ = ["CANCELLED", "CalendarQueue"]
+
+
+class _Cancelled:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<cancelled>"
+
+
+#: Tombstone marking a lazily-deleted entry (stored in the proc slot).
+CANCELLED = _Cancelled()
+
+_POOL_MAX = 4096
+
+
+class CalendarQueue:
+    """Priority queue of ``[time, seq, proc, value, exc]`` entries.
+
+    ``now`` must be advanced by the caller (the engine) as simulated
+    time moves; pushes at ``time <= now`` land in the current-instant
+    bucket, later ones in the heap.
+    """
+
+    __slots__ = ("now", "bucket", "heap", "_pool", "_n_cancelled")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.bucket: deque = deque()
+        self.heap: List[list] = []
+        self._pool: List[list] = []
+        self._n_cancelled = 0
+
+    # ------------------------------------------------------------- writing
+
+    def push(
+        self,
+        time: float,
+        seq: int,
+        proc: Any,
+        value: Any = None,
+        exc: Optional[BaseException] = None,
+    ) -> list:
+        """File an entry; returns it (the :meth:`cancel` handle)."""
+        if self._pool:
+            entry = self._pool.pop()
+            entry[0] = time
+            entry[1] = seq
+            entry[2] = proc
+            entry[3] = value
+            entry[4] = exc
+        else:
+            entry = [time, seq, proc, value, exc]
+        if time <= self.now:
+            self.bucket.append(entry)
+        else:
+            heappush(self.heap, entry)
+        return entry
+
+    def cancel(self, entry: list) -> None:
+        """Lazily delete ``entry``: tombstone it in place, O(1)."""
+        entry[2] = CANCELLED
+        entry[3] = None
+        entry[4] = None
+        self._n_cancelled += 1
+
+    # ------------------------------------------------------------- reading
+
+    def peek_time(self) -> Optional[float]:
+        """Earliest live entry's time, or ``None`` when empty."""
+        while True:
+            if self.bucket:
+                if self.bucket[0][2] is CANCELLED:
+                    self._n_cancelled -= 1
+                    self._recycle(self.bucket.popleft())
+                    continue
+                head = self.bucket[0]
+                if self.heap and self.heap[0][2] is CANCELLED:
+                    self._n_cancelled -= 1
+                    self._recycle(heappop(self.heap))
+                    continue
+                if (
+                    self.heap
+                    and self.heap[0][0] <= head[0]
+                    and self.heap[0][1] < head[1]
+                ):
+                    return self.heap[0][0]
+                return head[0]
+            if self.heap:
+                if self.heap[0][2] is CANCELLED:
+                    self._n_cancelled -= 1
+                    self._recycle(heappop(self.heap))
+                    continue
+                return self.heap[0][0]
+            return None
+
+    def pop(self) -> Optional[tuple]:
+        """Remove and return the earliest live ``(time, seq, proc, value,
+        exc)``, or ``None`` when the queue is empty.  Does *not* advance
+        ``now`` — the engine owns the clock."""
+        bucket = self.bucket
+        heap = self.heap
+        while True:
+            if bucket:
+                head = bucket[0]
+                # A heap entry can tie the bucket's instant only via
+                # float underflow (now + tiny == now); order by seq then.
+                if heap and heap[0][0] <= head[0] and heap[0][1] < head[1]:
+                    entry = heappop(heap)
+                else:
+                    entry = bucket.popleft()
+            elif heap:
+                entry = heappop(heap)
+            else:
+                return None
+            t, seq, proc, value, exc = entry
+            self._recycle(entry)
+            if proc is CANCELLED:
+                self._n_cancelled -= 1
+                continue
+            return t, seq, proc, value, exc
+
+    def _recycle(self, entry: list) -> None:
+        if len(self._pool) < _POOL_MAX:
+            entry[2] = None
+            entry[3] = None
+            entry[4] = None
+            self._pool.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.bucket) + len(self.heap) - self._n_cancelled
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CalendarQueue now={self.now} bucket={len(self.bucket)} "
+            f"heap={len(self.heap)} cancelled={self._n_cancelled}>"
+        )

@@ -1,0 +1,213 @@
+"""CalendarQueue and engine scheduling-primitive unit tests.
+
+The calendar queue must be observationally identical to a single
+``(time, seq)`` binary heap: same pop order, same semantics for lazy
+cancellation, plus the O(1) current-instant bucket and entry pooling it
+adds on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import Engine, Timeout
+from repro.simcore.eventq import _POOL_MAX, CANCELLED, CalendarQueue
+
+
+def _drain(q: CalendarQueue):
+    """Pop everything, advancing ``now`` the way the engine does."""
+    out = []
+    while True:
+        entry = q.pop()
+        if entry is None:
+            return out
+        q.now = entry[0]
+        out.append(entry[:3])
+
+
+# ------------------------------------------------------------ ordering
+
+
+def test_pop_orders_by_time_then_seq():
+    q = CalendarQueue()
+    q.push(2.0, 3, "c")
+    q.push(1.0, 1, "a")
+    q.push(1.0, 2, "b")
+    q.push(0.0, 0, "z")  # current instant -> bucket
+    assert _drain(q) == [(0.0, 0, "z"), (1.0, 1, "a"), (1.0, 2, "b"), (2.0, 3, "c")]
+
+
+def test_current_instant_pushes_are_fifo():
+    q = CalendarQueue()
+    for seq in range(50):
+        q.push(0.0, seq, seq)
+    assert [e[2] for e in _drain(q)] == list(range(50))
+    assert not q.bucket and not q.heap
+
+
+def test_matches_reference_heap_on_random_workload():
+    rng = random.Random(1234)
+    q = CalendarQueue()
+    ref: list = []
+    seq = 0
+    popped, expected = [], []
+    for _ in range(2000):
+        if ref and rng.random() < 0.45:
+            t, s, p = heapq.heappop(ref)
+            expected.append((t, s, p))
+            got = q.pop()
+            q.now = max(q.now, got[0])
+            popped.append(got[:3])
+        else:
+            # Schedule at now (bucket path) or strictly in the future.
+            t = q.now if rng.random() < 0.5 else q.now + rng.random()
+            q.push(t, seq, seq)
+            heapq.heappush(ref, (t, seq, seq))
+            seq += 1
+    while ref:
+        t, s, p = heapq.heappop(ref)
+        expected.append((t, s, p))
+        got = q.pop()
+        q.now = max(q.now, got[0])
+        popped.append(got[:3])
+    assert popped == expected
+    assert q.pop() is None
+
+
+def test_value_and_exc_ride_along():
+    q = CalendarQueue()
+    boom = ValueError("boom")
+    q.push(0.0, 0, "p", value=41, exc=boom)
+    t, seq, proc, value, exc = q.pop()
+    assert (t, seq, proc, value) == (0.0, 0, "p", 41)
+    assert exc is boom
+
+
+# -------------------------------------------------------- cancellation
+
+
+def test_cancel_is_lazy_and_skipped_at_pop():
+    q = CalendarQueue()
+    keep = q.push(1.0, 0, "keep")
+    dead = q.push(2.0, 1, "dead")
+    q.cancel(dead)
+    assert dead[2] is CANCELLED
+    assert len(q.heap) == 2  # not reheapified...
+    assert len(q) == 1  # ...but not counted
+    assert [e[2] for e in _drain(q)] == ["keep"]
+    assert keep[2] is None  # recycled
+
+
+def test_cancel_head_of_bucket():
+    q = CalendarQueue()
+    first = q.push(0.0, 0, "first")
+    q.push(0.0, 1, "second")
+    q.cancel(first)
+    assert q.peek_time() == 0.0
+    assert q.pop()[2] == "second"
+    assert q.pop() is None
+
+
+def test_len_and_bool_track_live_entries():
+    q = CalendarQueue()
+    assert not q and len(q) == 0
+    a = q.push(0.0, 0, "a")
+    b = q.push(1.0, 1, "b")
+    assert q and len(q) == 2
+    q.cancel(a)
+    q.cancel(b)
+    assert not q and len(q) == 0
+    assert q.pop() is None
+    assert len(q) == 0
+
+
+# --------------------------------------------------------------- peek
+
+
+def test_peek_time_skips_tombstones_without_popping_live():
+    q = CalendarQueue()
+    dead = q.push(1.0, 0, "dead")
+    q.push(2.0, 1, "live")
+    q.cancel(dead)
+    assert q.peek_time() == 2.0
+    assert len(q) == 1  # live entry untouched
+    assert q.pop()[2] == "live"
+
+
+def test_peek_time_empty():
+    assert CalendarQueue().peek_time() is None
+
+
+def test_peek_prefers_bucket_over_later_heap():
+    q = CalendarQueue()
+    q.now = 5.0
+    q.push(5.0, 10, "bucket-now")
+    q.push(6.0, 11, "future")
+    assert q.peek_time() == 5.0
+
+
+# ---------------------------------------------------------------- pool
+
+
+def test_entries_are_recycled_through_pool():
+    q = CalendarQueue()
+    entry = q.push(0.0, 0, "p", value="v")
+    q.pop()
+    assert entry[2] is None and entry[3] is None  # scrubbed
+    again = q.push(1.0, 1, "q")
+    assert again is entry  # same list object reused
+
+
+def test_pool_is_bounded():
+    q = CalendarQueue()
+    for seq in range(_POOL_MAX + 100):
+        q.push(0.0, seq, seq)
+    while q.pop() is not None:
+        pass
+    assert len(q._pool) == _POOL_MAX
+
+
+# -------------------------------------------------------------- engine
+
+
+def test_engine_call_at_runs_thunks_in_time_order():
+    eng = Engine()
+    calls = []
+    eng.call_at(2e-6, lambda: calls.append(("b", eng.now)))
+    eng.call_at(1e-6, lambda: calls.append(("a", eng.now)))
+    eng.call_at(0.0, lambda: calls.append(("z", eng.now)))
+    eng.run(detect_deadlock=False)
+    assert calls == [("z", 0.0), ("a", 1e-6), ("b", 2e-6)]
+
+
+def test_engine_call_at_negative_delay_raises():
+    with pytest.raises(SimulationError, match="negative delay"):
+        Engine().call_at(-1e-9, lambda: None)
+
+
+def test_engine_cancelled_thunk_never_fires():
+    eng = Engine()
+    fired = []
+    entry = eng.call_at(1e-6, lambda: fired.append(True))
+    eng._queue.cancel(entry)
+    eng.run(detect_deadlock=False)
+    assert fired == []
+
+
+def test_thunks_interleave_with_processes():
+    eng = Engine()
+    order = []
+
+    def proc():
+        order.append(("proc", eng.now))
+        yield Timeout(2e-6)
+        order.append(("proc", eng.now))
+
+    eng.spawn(proc())
+    eng.call_at(1e-6, lambda: order.append(("thunk", eng.now)))
+    eng.run()
+    assert order == [("proc", 0.0), ("thunk", 1e-6), ("proc", 2e-6)]

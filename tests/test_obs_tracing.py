@@ -238,6 +238,10 @@ class TestInstrumentation:
         assert total == pytest.approx(m.time, rel=1e-9)
 
     def test_sweep_trace(self):
+        from repro.perf.batch import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            pytest.skip("OverflowModel datasets need the repro[fast] extra")
         from repro.apps.overflow import OverflowModel
         from repro.machine.node import Device
 

@@ -76,8 +76,14 @@ class TestHarness:
         on_disk = json.loads(out.read_text())
         assert on_disk["schema"] == report["schema"] == 1
         assert set(on_disk["campaigns"]) == {
-            "allreduce", "mg_sweep", "fig22", "engine_storm",
+            "allreduce", "mg_sweep", "fig22", "fig22_batch", "engine_storm",
         }
+        assert on_disk["campaigns"]["fig22_batch"]["identical"]
+
+    def test_run_selfperf_scale_campaign_is_opt_in(self, tmp_path):
+        report = run_selfperf(workers=1, quick=True, output=None, scale=True)
+        scale = report["campaigns"]["scale"]
+        assert scale["correct"] and scale["ranks"] == 512
 
     def test_run_selfperf_records_speedup_fields(self):
         report = run_selfperf(workers=2, quick=True, output=None)
