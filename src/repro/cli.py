@@ -9,6 +9,7 @@ Commands
 ``stream``            Model STREAM curves + a real NumPy STREAM on this host.
 ``modes``             NPB MG under the four programming modes.
 ``bench``             Self-benchmark the simulator (``--parallel N``, ``--quick``).
+``faults``            Run an experiment under a fault plan (``--plan file.json``).
 
 The heavy per-figure assertions live in ``benchmarks/``; the CLI renders
 the same data for interactive exploration.
@@ -18,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from typing import List, Optional
 
 from repro.core.report import figure_header, fmt_rate, fmt_size, render_table
@@ -500,6 +502,113 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+#: Experiments the ``faults`` command can degrade.  ``crash`` demos a
+#: mid-collective rank kill; ``sweep`` runs a message-size campaign with
+#: per-point failure capture; the rest compare a healthy baseline against
+#: the same run under the plan.
+FAULT_EXPERIMENTS = (
+    "allreduce",
+    "bcast",
+    "allgather",
+    "alltoall",
+    "halo",
+    "crash",
+    "sweep",
+)
+
+
+def _faulted_alltoall_point(ranks: int, fabric_name: str, tpc: int, plan, nbytes: int):
+    """One degraded-sweep point (module-level so it pickles into pools)."""
+    from repro.core.results import Measurement
+    from repro.mpi.fabrics import host_fabric, phi_fabric
+    from repro.mpi.runtime import mpiexec
+
+    fabric = host_fabric() if fabric_name == "host" else phi_fabric(tpc)
+    res = mpiexec(ranks, fabric, _trace_main("alltoall", nbytes), fault_plan=plan)
+    return Measurement(name="alltoall", time=res.elapsed, config={"nbytes": nbytes})
+
+
+def _cmd_faults(args) -> int:
+    from repro.core.sweep import grid_sweep, message_size_sweep
+    from repro.errors import ReproError
+    from repro.faults import (
+        FaultPlan,
+        LinkDegradation,
+        MemoryPressure,
+        RankCrash,
+        Straggler,
+    )
+    from repro.mpi.fabrics import host_fabric, phi_fabric
+    from repro.mpi.runtime import mpiexec
+    from repro.obs import Tracer, render_timeline
+
+    exp = args.experiment
+    fabric = host_fabric() if args.fabric == "host" else phi_fabric(args.tpc)
+    plan = FaultPlan.from_file(args.plan) if args.plan else None
+    victim = min(1, args.ranks - 1)
+
+    if exp == "sweep":
+        if plan is None:
+            # Demo: shrink the card so Fig 14-style alltoall OOMs fire
+            # mid-axis; the campaign records them and keeps going.
+            plan = FaultPlan(
+                [MemoryPressure(capacity_factor=0.02, label="demo-pressure")]
+            )
+        _print("fault plan:")
+        _print(plan.describe())
+        sizes = message_size_sweep(1024, 4 * 1024 * KiB)[::2]
+        results = grid_sweep(
+            partial(_faulted_alltoall_point, args.ranks, args.fabric, args.tpc, plan),
+            sizes,
+            capture_failures=True,
+        )
+        rows = [
+            (fmt_size(int(m.config["nbytes"])), f"{m.time:.3e}") for m in results
+        ]
+        _print(render_table(("size", "elapsed (s)"), rows,
+                            title=f"alltoall sweep, {args.ranks} ranks, under faults"))
+        if results.failures:
+            _print(f"\n{len(results.failures)} point(s) failed "
+                   "(campaign continued):")
+            for f in results.failures:
+                _print(f"  {fmt_size(int(f.point))}: {f.error}: {f.message}")
+        return 0
+
+    base_exp = "allreduce" if exp == "crash" else exp
+    main = _trace_main(base_exp, args.nbytes)
+    baseline = mpiexec(args.ranks, fabric, main, fast_collectives=False)
+    if plan is None:
+        if exp == "crash":
+            plan = FaultPlan(
+                [RankCrash(rank=victim, at=baseline.elapsed / 2, label="demo-crash")]
+            )
+        else:
+            plan = FaultPlan([
+                LinkDegradation(
+                    latency_factor=2.0, bandwidth_factor=0.25, label="demo-link"
+                ),
+                Straggler(rank=victim, slowdown=3.0, label="demo-straggler"),
+            ])
+    _print("fault plan:")
+    _print(plan.describe())
+    _print(f"\nbaseline elapsed: {baseline.elapsed:.6e}s")
+    tracer = Tracer() if args.timeline else None
+    try:
+        faulted = mpiexec(args.ranks, fabric, main, fault_plan=plan, tracer=tracer)
+    except ReproError as exc:
+        _print(f"faulted run died: {type(exc).__name__}: {exc}")
+        if tracer is not None:
+            _print(render_timeline(tracer))
+        return 0
+    _print(
+        f"faulted  elapsed: {faulted.elapsed:.6e}s  "
+        f"(x{faulted.elapsed / baseline.elapsed:.2f})"
+    )
+    if tracer is not None:
+        _print(render_timeline(tracer))
+    return 0
+
+
 # --------------------------------------------------------------------------
 # entry point
 # --------------------------------------------------------------------------
@@ -565,6 +674,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument(
         "--timeline", action="store_true", help="also render the ASCII timeline"
     )
+    p_faults = sub.add_parser(
+        "faults", help="run one experiment under a fault-injection plan"
+    )
+    p_faults.add_argument("experiment", choices=FAULT_EXPERIMENTS)
+    p_faults.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="JSON fault plan (see docs/ROBUSTNESS.md); a demo plan is "
+        "used when omitted",
+    )
+    p_faults.add_argument("--ranks", type=int, default=8, help="MPI ranks (default 8)")
+    p_faults.add_argument(
+        "--nbytes", type=int, default=1024, help="message size (default 1024)"
+    )
+    p_faults.add_argument("--fabric", default="host", choices=("host", "phi"))
+    p_faults.add_argument(
+        "--tpc", type=int, default=3, choices=(1, 2, 3, 4),
+        help="threads/core for the phi fabric",
+    )
+    p_faults.add_argument(
+        "--timeline", action="store_true",
+        help="render the faulted run's ASCII timeline (fault instants as '!')",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "table1":
@@ -601,6 +732,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args.parallel, args.quick, output, args.scale)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     return 2  # pragma: no cover
 
 

@@ -41,6 +41,13 @@ class Evaluator:
     once.  Keys include a fingerprint of the node spec and software
     stack, so evaluators built over different machines never share
     entries.
+
+    A ``fault_plan`` (:class:`~repro.faults.FaultPlan`) applies memory
+    pressure: kernel footprints are checked against the *pressured*
+    device capacity, so Fig 19/20-style OOMs fire earlier than on the
+    healthy card.  The plan's fingerprint is mixed into the machine
+    fingerprint, keeping faulted and healthy campaigns in disjoint cache
+    namespaces.
     """
 
     def __init__(
@@ -48,19 +55,34 @@ class Evaluator:
         node: Optional[MaiaNode] = None,
         software: SoftwareStack = POST_UPDATE,
         cache: Optional[EvalCache] = None,
+        fault_plan: Optional["object"] = None,
     ):
         self.node = node or maia_node()
         self.software = software
         self.cache = cache
+        self.fault_plan = fault_plan
         self._processors: Dict[Device, Processor] = {}
         self._machine_key: Optional[str] = None
 
     @property
     def machine_fingerprint(self) -> str:
-        """Stable hash of this evaluator's machine spec + software stack."""
+        """Stable hash of this evaluator's machine spec + software stack
+        (and active fault plan, when one is attached)."""
         if self._machine_key is None:
-            self._machine_key = fingerprint(self.node, self.software)
+            key = fingerprint(self.node, self.software)
+            if self.fault_plan is not None:
+                key = f"{key}+faults:{self.fault_plan.fingerprint()}"
+            self._machine_key = key
         return self._machine_key
+
+    def _check_pressure(self, kernel: KernelSpec, proc: Processor) -> None:
+        """Raise if memory-pressure faults shrink the device below the
+        kernel's footprint (the healthy-capacity check still runs in the
+        roofline itself)."""
+        if self.fault_plan is not None:
+            self.fault_plan.check_footprint(
+                kernel.footprint, proc.memory_capacity, kernel.name
+            )
 
     def processor(self, dev: Device) -> Processor:
         """The device as a Processor facade (host = merged 16-core view)."""
@@ -140,6 +162,11 @@ class Evaluator:
             return out
 
         proc = self.processor(dev)
+        if check_memory and self.fault_plan is not None:
+            try:
+                self._check_pressure(kernel, proc)
+            except OutOfMemoryError:
+                return out  # pressured memory kills every uncached point
         sync = None
         if kernel.sync_points:
             cost_by_n = {}
@@ -194,6 +221,8 @@ class Evaluator:
         check_memory: bool = True,
     ) -> Measurement:
         proc = self.processor(dev)
+        if check_memory:
+            self._check_pressure(kernel, proc)
         sync = barrier_cost(proc.spec, n_threads) if kernel.sync_points else 0.0
         t = kernel_time(kernel, proc, n_threads, sync_cost=sync, check_memory=check_memory)
         mode = (

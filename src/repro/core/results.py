@@ -9,6 +9,26 @@ from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
+class Failure:
+    """A sweep point that died, with its cause preserved.
+
+    Captured by ``grid_sweep(..., capture_failures=True)``: the campaign
+    continues past the dead point, and the result set records *why* it
+    died — the error type, its message, and (for injected faults and
+    timeouts) the simulated time of impact.
+    """
+
+    point: Any
+    error: str  # exception type name, e.g. "FaultError"
+    message: str
+    when: Optional[float] = None  # simulated time, when the error carries one
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        at = "" if self.when is None else f" (t={self.when:.9g}s)"
+        return f"{self.point!r}: {self.error}: {self.message}{at}"
+
+
+@dataclass(frozen=True)
 class Measurement:
     """One experimental point.
 
@@ -35,13 +55,31 @@ class Measurement:
 
 
 class ResultSet:
-    """An ordered collection of measurements with query helpers."""
+    """An ordered collection of measurements with query helpers.
 
-    def __init__(self, measurements: Iterable[Measurement] = ()):
+    ``failures`` records sweep points that died when the sweep ran with
+    ``capture_failures=True`` — the measurements hold the points that
+    survived, the failures say why the others did not.
+    """
+
+    def __init__(
+        self,
+        measurements: Iterable[Measurement] = (),
+        failures: Iterable[Failure] = (),
+    ):
         self._items: List[Measurement] = list(measurements)
+        self.failures: List[Failure] = list(failures)
 
     def add(self, m: Measurement) -> None:
         self._items.append(m)
+
+    def record_failure(self, failure: Failure) -> None:
+        self.failures.append(failure)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no point failed."""
+        return not self.failures
 
     def __iter__(self) -> Iterator[Measurement]:
         return iter(self._items)

@@ -20,11 +20,12 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import (
     ConfigError,
     OutOfMemoryError,
+    ReproError,
     SimulationError,
     UnsupportedConfigurationError,
 )
 from repro.core.evaluator import Evaluator
-from repro.core.results import Measurement, ResultSet
+from repro.core.results import Failure, Measurement, ResultSet
 from repro.execmodel.kernel import KernelSpec
 from repro.machine.node import Device
 from repro.obs.tracer import Tracer, active
@@ -67,15 +68,25 @@ def message_size_sweep(
 def _price_point(
     run_fn: Callable[..., Measurement],
     skip_infeasible: bool,
+    capture_failures: bool,
     point: Any,
-) -> Optional[Measurement]:
+) -> Any:
+    """Price one point.  Returns a Measurement, ``None`` (infeasible and
+    skipped) or a :class:`~repro.core.results.Failure` (captured death)."""
     args = point if isinstance(point, tuple) else (point,)
     try:
         return run_fn(*args)
-    except INFEASIBLE_ERRORS:
-        if not skip_infeasible:
-            raise
-        return None
+    except ReproError as exc:
+        if capture_failures:
+            return Failure(
+                point=point,
+                error=type(exc).__name__,
+                message=str(exc),
+                when=getattr(exc, "when", None),
+            )
+        if isinstance(exc, INFEASIBLE_ERRORS) and skip_infeasible:
+            return None
+        raise
 
 
 def _emit_sweep_trace(tracer: Tracer, sweep_name: str, results: ResultSet) -> None:
@@ -109,6 +120,7 @@ def grid_sweep(
     workers: Optional[int] = None,
     trace: Optional[Tracer] = None,
     trace_name: str = "grid",
+    capture_failures: bool = False,
 ) -> ResultSet:
     """Price ``run_fn`` over ``points`` (tuples are splatted as arguments).
 
@@ -116,11 +128,21 @@ def grid_sweep(
     counts, decompositions.  Feasible results arrive in grid order.  An
     active ``trace`` tracer receives one span per feasible point on lane
     ``sweep.<trace_name>``/``<device>``.
+
+    ``capture_failures=True`` turns every :class:`~repro.errors.ReproError`
+    a point raises — injected faults, timeouts, OOMs — into a
+    :class:`~repro.core.results.Failure` on the result set instead of
+    aborting the campaign: the remaining points still run.
     """
     priced = parallel_map(
-        partial(_price_point, run_fn, skip_infeasible), list(points), workers=workers
+        partial(_price_point, run_fn, skip_infeasible, capture_failures),
+        list(points),
+        workers=workers,
     )
-    results = ResultSet(m for m in priced if m is not None)
+    results = ResultSet(
+        (m for m in priced if isinstance(m, Measurement)),
+        failures=(f for f in priced if isinstance(f, Failure)),
+    )
     tr = active(trace)
     if tr is not None:
         _emit_sweep_trace(tr, trace_name, results)
@@ -142,6 +164,7 @@ def thread_sweep(
     workers: Optional[int] = None,
     trace: Optional[Tracer] = None,
     batch: Optional[bool] = None,
+    capture_failures: bool = False,
 ) -> ResultSet:
     """Native runs over a list of thread counts (Figs 19/21/25 x-axis).
 
@@ -151,20 +174,32 @@ def thread_sweep(
     order, including cache interaction.  ``batch=False`` forces the
     per-point path; ``batch=True`` demands batching even under
     ``workers`` (the batch is already one array pass, so pooling it
-    adds nothing).
+    adds nothing).  ``capture_failures`` needs the per-point exception
+    objects and therefore routes through the scalar path.
     """
     counts = list(thread_counts)
     use_batch = (
         batch
         if batch is not None
         else _HAVE_NUMPY and (workers is None or workers <= 1)
-    )
+    ) and not capture_failures
     if use_batch:
         priced = evaluator.native_batch(dev, kernel, counts)
         if not skip_infeasible:
             for i, m in enumerate(priced):
                 if m is None:
-                    evaluator.native(dev, kernel, counts[i])  # raise scalar error
+                    # The batch masked this point: the scalar evaluation
+                    # must raise the same infeasibility.  If it *prices*
+                    # the point instead, the two paths disagree — that
+                    # used to drop the point silently; it is a bug and
+                    # must surface.
+                    scalar = evaluator.native(dev, kernel, counts[i])
+                    raise SimulationError(
+                        f"batch/scalar disagreement for {kernel.name} at "
+                        f"threads={counts[i]}: batch marked the point "
+                        f"infeasible but the scalar path priced it "
+                        f"({scalar.time:.9g}s)"
+                    )
         results = ResultSet(m for m in priced if m is not None)
         tr = active(trace)
         if tr is not None:
@@ -177,6 +212,7 @@ def thread_sweep(
         workers=workers,
         trace=trace,
         trace_name=f"threads.{kernel.name}",
+        capture_failures=capture_failures,
     )
 
 
@@ -192,6 +228,7 @@ def decomposition_sweep(
     skip_infeasible: bool = True,
     workers: Optional[int] = None,
     trace: Optional[Tracer] = None,
+    capture_failures: bool = False,
 ) -> ResultSet:
     """(I MPI ranks × J OpenMP threads) sweep (Fig 22's x-axis).
 
@@ -209,6 +246,7 @@ def decomposition_sweep(
         workers=workers,
         trace=trace,
         trace_name="decomposition",
+        capture_failures=capture_failures,
     )
 
 

@@ -50,6 +50,58 @@ class OutOfMemoryError(ReproError):
         return (type(self), (self.required, self.available, self.what))
 
 
+class FaultError(ReproError):
+    """An injected fault (:mod:`repro.faults`) terminated a simulated process.
+
+    Carries the fault's identity, the victim rank (``None`` for faults
+    without a single victim) and the simulated time of impact, so a
+    campaign can record *why* a point died instead of reporting a generic
+    :class:`DeadlockError`.
+    """
+
+    def __init__(self, fault: str, rank=None, when: float = 0.0):
+        self.fault = fault
+        self.rank = rank
+        self.when = float(when)
+        victim = f"rank {rank}" if rank is not None else "the job"
+        super().__init__(
+            f"fault {fault!r} killed {victim} at t={self.when:.9g}s"
+        )
+
+    def __reduce__(self):
+        # Rebuild from constructor arguments so the error survives the
+        # trip back from sweep pool workers.
+        return (type(self), (self.fault, self.rank, self.when))
+
+
+class TimeoutExpired(ReproError):
+    """A timed wait (``Communicator.send``/``recv`` with ``timeout=``) expired.
+
+    ``when`` is the simulated time the timer fired (set by the engine);
+    ``op`` describes the operation that was waiting.
+    """
+
+    def __init__(self, op: str, timeout: float, when: float = 0.0):
+        self.op = op
+        self.timeout = float(timeout)
+        self.when = float(when)
+        super().__init__(
+            f"{op} timed out after {self.timeout:.9g}s (t={self.when:.9g}s)"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.op, self.timeout, self.when))
+
+
+class IncompleteJobError(ReproError):
+    """``JobResult.returns`` was read off a truncated run.
+
+    Raised when a job stopped at ``run(until=...)`` before every rank
+    finished and the caller did not opt in via
+    :meth:`~repro.mpi.runtime.JobResult.partial_returns`.
+    """
+
+
 class UnsupportedConfigurationError(ReproError):
     """A benchmark constraint is violated (e.g. BT/SP need square rank counts)."""
 

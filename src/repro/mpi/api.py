@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TimeoutExpired
 from repro.mpi.messages import ANY_SOURCE, ANY_TAG, Envelope, match_filter
 from repro.obs.tracer import NULL_CONTEXT, Tracer, active
 from repro.simcore import Engine, Event, Get, Put, Timeout, WaitEvent
@@ -74,6 +74,11 @@ class Communicator:
         the job's ranks.  When set (uniform fabric) and no tracer is
         active, the symmetric collectives short-circuit to their exact
         analytic schedules instead of stepping every rank.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`.  Stragglers scale this
+        rank's :meth:`compute` time; memory pressure tightens the
+        :meth:`alltoall` feasibility check.  (Link faults act at the
+        fabric layer; crashes are armed by the job.)
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class Communicator:
         tracer: Optional[Tracer] = None,
         trace_pid: str = "mpi",
         fast: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ):
         if not (0 <= rank < size):
             raise ConfigError(f"rank {rank} out of range for size {size}")
@@ -99,6 +105,7 @@ class Communicator:
         self._trace_tid = f"rank{rank}"
         self._fast = fast
         self._fast_seq = 0  # this rank's fast-collective call counter
+        self._faults = faults
 
     # ------------------------------------------------------------ plumbing
 
@@ -123,9 +130,18 @@ class Communicator:
         payload: Any = None,
         pattern: str = "neighbor",
         _lane: Optional[str] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
     ) -> Generator:
         """Blocking send (eager detaches after local copy; rendezvous
-        blocks until the receiver matches)."""
+        blocks until the receiver matches).
+
+        ``timeout`` bounds the rendezvous wait for a matching receiver
+        in simulated seconds; after ``max_retries`` further waits of the
+        same length, the unmatched envelope is withdrawn and
+        :class:`~repro.errors.TimeoutExpired` propagates.  Eager sends
+        never wait on the peer and ignore the bound.
+        """
         self._check_peer(dest)
         if nbytes < 0:
             raise ConfigError("nbytes must be non-negative")
@@ -150,21 +166,51 @@ class Communicator:
             payload=payload,
             pattern=pattern,
         )
-        yield Put(self._mailboxes[dest], env)
-        if nbytes <= fabric.eager_max:
-            yield Timeout(fabric.sender_time(nbytes))
-        else:
-            yield WaitEvent(env.done)
-        if tr is not None:
-            tr.end(sp)
+        try:
+            yield Put(self._mailboxes[dest], env)
+            if nbytes <= fabric.eager_max:
+                yield Timeout(fabric.sender_time(nbytes))
+            else:
+                attempts = (max_retries + 1) if timeout is not None else 1
+                while True:
+                    try:
+                        yield WaitEvent(
+                            env.done,
+                            timeout=timeout,
+                            timeout_error=None if timeout is None else
+                            TimeoutExpired(
+                                f"send to rank {dest} (tag {tag})", timeout
+                            ),
+                        )
+                        break
+                    except TimeoutExpired:
+                        attempts -= 1
+                        if attempts <= 0:
+                            # Withdraw the unmatched envelope so a late
+                            # receiver cannot match a send we gave up on.
+                            try:
+                                self._mailboxes[dest].items.remove(env)
+                            except ValueError:
+                                pass
+                            raise
+        finally:
+            if tr is not None:
+                tr.end(sp)
 
     def recv(
         self,
         source: Optional[int] = ANY_SOURCE,
         tag: Optional[int] = ANY_TAG,
         _lane: Optional[str] = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
     ) -> Generator:
-        """Blocking receive; returns the matched :class:`Envelope`."""
+        """Blocking receive; returns the matched :class:`Envelope`.
+
+        ``timeout`` bounds the wait for a matching message in simulated
+        seconds; the matcher is re-posted ``max_retries`` times before
+        :class:`~repro.errors.TimeoutExpired` propagates.
+        """
         if source is not None:
             self._check_peer(source)
         tr = active(self.tracer)
@@ -177,26 +223,49 @@ class Communicator:
                 tid=_lane or self._trace_tid,
                 args={"source": source, "tag": tag},
             )
-        env: Envelope = yield Get(
-            self._mailboxes[self.rank], filter=match_filter(source, tag)
-        )
-        fabric = self.fabric(env.source)
-        pattern = getattr(env, "pattern", "neighbor")
-        transfer = fabric.p2p_time(env.nbytes, pattern=pattern, n_senders=self.size)
-        if env.nbytes <= fabric.eager_max:
-            # Eager data is on the wire as soon as it is posted.
-            completion = max(self.engine.now, env.post_time + transfer)
-        else:
-            # Rendezvous transfer starts once both sides are present.
-            completion = max(self.engine.now, env.post_time) + transfer
-        delay = completion - self.engine.now
-        if delay > 0:
-            yield Timeout(delay)
-        env.done.succeed(completion)
-        if tr is not None and sp is not None:
-            sp.args = {"source": env.source, "nbytes": env.nbytes, "tag": env.tag}
-            tr.end(sp)
-        return env
+        try:
+            attempts = (max_retries + 1) if timeout is not None else 1
+            while True:
+                try:
+                    env: Envelope = yield Get(
+                        self._mailboxes[self.rank],
+                        filter=match_filter(source, tag),
+                        timeout=timeout,
+                        timeout_error=None if timeout is None else
+                        TimeoutExpired(
+                            f"recv(source={source}, tag={tag}) "
+                            f"on rank {self.rank}",
+                            timeout,
+                        ),
+                    )
+                    break
+                except TimeoutExpired:
+                    attempts -= 1
+                    if attempts <= 0:
+                        raise
+            fabric = self.fabric(env.source)
+            pattern = getattr(env, "pattern", "neighbor")
+            transfer = fabric.p2p_time(
+                env.nbytes, pattern=pattern, n_senders=self.size
+            )
+            if env.nbytes <= fabric.eager_max:
+                # Eager data is on the wire as soon as it is posted.
+                completion = max(self.engine.now, env.post_time + transfer)
+            else:
+                # Rendezvous transfer starts once both sides are present.
+                completion = max(self.engine.now, env.post_time) + transfer
+            delay = completion - self.engine.now
+            if delay > 0:
+                yield Timeout(delay)
+            env.done.succeed(completion)
+            if sp is not None:
+                sp.args = {
+                    "source": env.source, "nbytes": env.nbytes, "tag": env.tag
+                }
+            return env
+        finally:
+            if tr is not None and sp is not None:
+                tr.end(sp)
 
     def isend(
         self, dest: int, nbytes: int, tag: int = 0, payload: Any = None
@@ -276,9 +345,15 @@ class Communicator:
     # ----------------------------------------------------------- utilities
 
     def compute(self, seconds: float) -> Generator:
-        """Local computation for ``seconds`` of simulated time."""
+        """Local computation for ``seconds`` of simulated time.
+
+        An active :class:`~repro.faults.Straggler` targeting this rank
+        stretches the time by its slowdown factor.
+        """
         if seconds < 0:
             raise ConfigError("compute time must be non-negative")
+        if self._faults is not None:
+            seconds *= self._faults.compute_factor(self.rank, self.engine.now)
         yield Timeout(seconds)
 
     def barrier(self) -> Generator:
@@ -395,6 +470,10 @@ class Communicator:
     def alltoall(self, values, nbytes: int = 8) -> Generator:
         from repro.mpi import collectives
 
+        if self._faults is not None:
+            # Memory pressure makes the Fig 14-style alltoall OOM fire at
+            # smaller messages than the healthy card's 8 GiB would allow.
+            self._faults.check_alltoall(self.size, nbytes)
         if self._use_fast():
             return (yield from self._fast_collective("alltoall", values, nbytes))
         sp = self._coll_span("alltoall", nbytes)

@@ -11,15 +11,19 @@ examples and tests::
     result = mpiexec(8, host_fabric(), main)
     result.elapsed      # simulated seconds
     result.returns      # per-rank return values
+
+Jobs accept a :class:`~repro.faults.FaultPlan` (``fault_plan=``): link
+faults reprice the fabric against the engine clock, rank crashes are
+armed as injectors, and stragglers slow the victim rank's compute.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Generator, List, Optional, Union
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IncompleteJobError
 from repro.mpi.api import Communicator, FabricResolver
+from repro.mpi.fabrics import Fabric
 from repro.obs.tracer import Tracer, active
 from repro.simcore import Engine, Store
 
@@ -27,23 +31,83 @@ RankMain = Callable[[Communicator], Generator]
 
 
 def _traced_rank(tracer: Tracer, pid: str, rank: int, gen: Generator) -> Generator:
-    """Wrap a rank main in a lifetime span on its timeline lane."""
+    """Wrap a rank main in a lifetime span on its timeline lane.
+
+    The span is closed in a ``finally`` so a rank that dies on an
+    exception (deadlock teardown, injected fault) still leaves a
+    well-formed trace instead of an unterminated ``B`` event.
+    """
     span = tracer.begin(f"rank{rank}", cat="mpi.rank", pid=pid, tid=f"rank{rank}")
-    result = yield from gen
-    tracer.end(span)
+    try:
+        result = yield from gen
+    finally:
+        tracer.end(span)
     return result
 
 
-@dataclass
 class JobResult:
-    """Outcome of one simulated MPI job."""
+    """Outcome of one simulated MPI job.
 
-    elapsed: float  # simulated wall time, seconds
-    returns: List[Any]  # per-rank return values
+    Attributes
+    ----------
+    elapsed:
+        Simulated wall time in seconds.
+    completed:
+        True iff every rank ran to completion.  ``run(until=...)`` can
+        stop the clock mid-job; reading :attr:`returns` off such a
+        truncated result raises :class:`~repro.errors.IncompleteJobError`
+        — use :meth:`partial_returns` to opt in to partial data.
+    finished:
+        Per-rank completion flags.
+    """
+
+    __slots__ = ("elapsed", "_returns", "completed", "finished")
+
+    def __init__(
+        self,
+        elapsed: float,
+        returns: List[Any],
+        completed: bool = True,
+        finished: Optional[List[bool]] = None,
+    ):
+        self.elapsed = elapsed
+        self._returns = returns
+        self.completed = completed
+        self.finished = [True] * len(returns) if finished is None else finished
+
+    @property
+    def returns(self) -> List[Any]:
+        """Per-rank return values; raises on a truncated run.
+
+        A rank that has not finished has no return value — before this
+        guard, ``run(until=...)`` silently yielded ``None`` for every
+        unfinished rank, indistinguishable from ranks that returned
+        ``None``.
+        """
+        if not self.completed:
+            pending = [r for r, done in enumerate(self.finished) if not done]
+            raise IncompleteJobError(
+                f"job stopped with {len(pending)} unfinished rank(s) "
+                f"{pending[:8]}; use partial_returns() to read anyway"
+            )
+        return self._returns
+
+    def partial_returns(self, default: Any = None) -> List[Any]:
+        """Per-rank return values with ``default`` for unfinished ranks."""
+        return [
+            v if done else default
+            for v, done in zip(self._returns, self.finished)
+        ]
 
     @property
     def n_ranks(self) -> int:
-        return len(self.returns)
+        return len(self._returns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "complete" if self.completed else (
+            f"{sum(self.finished)}/{self.n_ranks} ranks"
+        )
+        return f"<JobResult elapsed={self.elapsed:.9g}s [{state}]>"
 
 
 class MpiJob:
@@ -56,6 +120,12 @@ class MpiJob:
     :class:`~repro.errors.ConfigError` on a non-uniform resolver fabric,
     whose per-rank divergence the analytic schedules cannot express);
     ``False`` forces every collective through the stepped algorithms.
+
+    ``fault_plan`` injects a :class:`~repro.faults.FaultPlan`: link
+    faults wrap the fabric in a degraded variant gated by the engine
+    clock, crashes/window markers are armed at :meth:`launch`, and the
+    analytic fast path is disabled (its closed forms assume a healthy,
+    time-invariant network).
     """
 
     def __init__(
@@ -66,6 +136,7 @@ class MpiJob:
         name: str = "mpijob",
         tracer: Optional[Tracer] = None,
         fast_collectives: Optional[bool] = None,
+        fault_plan: Optional[Any] = None,
     ):
         if n_ranks < 1:
             raise ConfigError("n_ranks must be >= 1")
@@ -73,9 +144,16 @@ class MpiJob:
         self.engine = engine or Engine()
         self.name = name
         self.tracer = tracer
+        self.fault_plan = fault_plan
         if tracer is not None:
             tracer.bind_engine(self.engine)
-        uniform = not (callable(fabric) and not hasattr(fabric, "p2p_time"))
+        if fault_plan is not None and fault_plan.link_faults:
+            fabric = self._degraded(fabric)
+        # A uniform job prices every rank pair with one fabric object.
+        # ``isinstance`` beats duck-typing here: a callable *resolver*
+        # that happens to carry a ``p2p_time`` attribute (e.g. a wrapped/
+        # partial-bound fabric function) must still route per rank pair.
+        uniform = isinstance(fabric, Fabric) or not callable(fabric)
         if uniform:
             self._fabric_for = lambda src, dst: fabric
         else:
@@ -85,13 +163,36 @@ class MpiJob:
                 "fast_collectives requires a uniform fabric (a single Fabric "
                 "object); this job routes by rank pair and must step every rank"
             )
+        if fast_collectives and fault_plan is not None:
+            raise ConfigError(
+                "fast_collectives cannot run under a fault plan: the analytic "
+                "schedules assume a healthy, time-invariant network"
+            )
         self.fast = None
-        if (fast_collectives or fast_collectives is None) and uniform and n_ranks > 1:
+        if (
+            (fast_collectives or fast_collectives is None)
+            and uniform
+            and n_ranks > 1
+            and fault_plan is None
+            and not getattr(fabric, "time_varying", False)
+        ):
             from repro.mpi.fastpath import FastCollectives
 
             self.fast = FastCollectives(fabric, n_ranks)
         self.mailboxes = [Store(name=f"{name}.mbox[{r}]") for r in range(n_ranks)]
         self._procs = []
+
+    def _degraded(self, fabric: Any) -> Any:
+        """Apply the plan's link faults to ``fabric`` (or to each fabric a
+        resolver returns), gated by this job's engine clock."""
+        plan, engine = self.fault_plan, self.engine
+        if isinstance(fabric, Fabric) or not callable(fabric):
+            return plan.degrade(fabric, clock=engine)
+
+        def resolver(src: int, dst: int, _base: Any = fabric) -> Any:
+            return plan.degrade(_base(src, dst), clock=engine)
+
+        return resolver
 
     def communicator(self, rank: int) -> Communicator:
         return Communicator(
@@ -103,11 +204,12 @@ class MpiJob:
             tracer=self.tracer,
             trace_pid=self.name,
             fast=self.fast,
+            faults=self.fault_plan,
         )
 
     def launch(self, main: RankMain) -> None:
         """Spawn ``main(comm)`` once per rank (with lifetime spans when
-        the job carries a tracer)."""
+        the job carries a tracer) and arm any fault injectors."""
         tr = active(self.tracer)
         for rank in range(self.n_ranks):
             comm = self.communicator(rank)
@@ -115,14 +217,30 @@ class MpiJob:
             if tr is not None:
                 gen = _traced_rank(tr, self.name, rank, gen)
             self._procs.append(self.engine.spawn(gen, name=f"{self.name}.rank{rank}"))
+        if self.fault_plan is not None and (
+            self.fault_plan.crashes
+            or self.fault_plan.link_faults
+            or self.fault_plan.stragglers
+        ):
+            from repro.faults.inject import arm
+
+            arm(self.engine, self.fault_plan, self._procs, tracer=tr)
 
     def run(self, until: Optional[float] = None) -> JobResult:
-        """Run the engine to completion; returns elapsed time + rank returns."""
+        """Run the engine (to time ``until`` if given).
+
+        Returns a :class:`JobResult`; when ``until`` stops the clock
+        before every rank finishes, the result's ``completed`` flag is
+        False and its ``returns`` guard against misreads.
+        """
         start = self.engine.now
         self.engine.run(until=until)
+        finished = [p.finished for p in self._procs]
         return JobResult(
             elapsed=self.engine.now - start,
             returns=[p.value for p in self._procs],
+            completed=all(finished),
+            finished=finished,
         )
 
 
@@ -133,11 +251,12 @@ def mpiexec(
     engine: Optional[Engine] = None,
     tracer: Optional[Tracer] = None,
     fast_collectives: Optional[bool] = None,
+    fault_plan: Optional[Any] = None,
 ) -> JobResult:
     """Launch and run ``main`` on ``n_ranks`` simulated ranks."""
     job = MpiJob(
         n_ranks, fabric, engine=engine, tracer=tracer,
-        fast_collectives=fast_collectives,
+        fast_collectives=fast_collectives, fault_plan=fault_plan,
     )
     job.launch(main)
     return job.run()

@@ -47,8 +47,17 @@ def render_timeline(
     events = _pick_events(tracer, categories)
     if not events:
         return "(no spans recorded)"
+    # Fault instants (cat "fault.*", emitted by repro.faults injectors)
+    # overlay every lane as '!' so a timeline shows when the environment
+    # changed — a crash, a degradation window opening or closing.
+    faults = [
+        e for e in tracer.events if e.ph == "i" and e.cat.startswith("fault")
+    ]
     t0 = min(e.ts for e in events)
     t1 = max(e.end for e in events)
+    if faults:
+        t0 = min(t0, min(e.ts for e in faults))
+        t1 = max(t1, max(e.ts for e in faults))
     extent = t1 - t0
     if extent <= 0.0:
         extent = 1.0
@@ -77,9 +86,14 @@ def render_timeline(
                 if e.depth > depth[i]:
                     depth[i] = e.depth
                     cells[i] = ch
+        for e in faults:
+            i = int((e.ts - t0) / extent * width)
+            cells[max(0, min(width - 1, i))] = "!"
         label = f"{pid}/{tid}".ljust(label_width)
         rows.append(f"{label} |{''.join(cells)}|")
     legend = "  ".join(f"{ch} {cat}" for cat, ch in char_for.items())
+    if faults:
+        legend += "  ! fault"
     rows.append(f"legend: {legend}")
     return "\n".join(rows)
 

@@ -17,7 +17,7 @@ from heapq import heappop
 from itertools import count
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, SimulationError, TimeoutExpired
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.obs.tracer import Tracer
@@ -182,6 +182,13 @@ class Engine:
         self, proc: Process, value: Any = None, exc: Optional[BaseException] = None
     ) -> None:
         """Resume ``proc`` with ``value`` (or throw ``exc``) and dispatch its next command."""
+        if proc.failure is not None:
+            return  # stale wakeup of a process killed by Process.fail
+        if proc._wait_timer is not None:
+            # The wait completed before its timeout: tombstone the timer
+            # so it neither fires nor extends the run's drain time.
+            self._queue.cancel(proc._wait_timer)
+            proc._wait_timer = None
         self._nsteps += 1
         try:
             if exc is not None:
@@ -202,7 +209,57 @@ class Engine:
                 )
             proc.done.succeed(stop.value)
             return
+        except BaseException as failure:
+            # The process died on an uncaught exception (a genuine bug or
+            # an injected fault).  Retire it so later wakeups are dropped
+            # and primitives skip it, then let the error surface.
+            proc.failure = failure
+            proc._blocked_on = None
+            self._live.pop(proc, None)
+            tr = self.tracer
+            if tr is not None and tr.enabled:
+                tr.instant(
+                    "fail",
+                    cat="engine.proc",
+                    pid="engine",
+                    tid="sched",
+                    args={"proc": proc.name, "error": type(failure).__name__},
+                )
+            raise
         self._dispatch(proc, cmd)
+
+    def _arm_wait_timer(
+        self,
+        proc: Process,
+        delay: float,
+        exc: Optional[BaseException],
+        unregister: Callable[[], bool],
+    ) -> None:
+        """Bound a blocking wait: after ``delay``, unregister ``proc`` from
+        its wait queue and throw ``exc`` (default
+        :class:`~repro.errors.TimeoutExpired`) into it.
+
+        ``unregister`` removes the process from the primitive's wait
+        queue, returning False if the wait was already satisfied (the
+        timer then no-ops).  Normal wakeups cancel the timer in
+        :meth:`_step`, so a satisfied wait leaves nothing behind.
+        """
+
+        def fire() -> None:
+            proc._wait_timer = None
+            if proc.failure is not None or proc.finished:
+                return
+            if unregister():
+                error = exc
+                if error is None:
+                    error = TimeoutExpired(
+                        f"wait on {proc._blocked_on}", delay, when=self.now
+                    )
+                elif isinstance(error, TimeoutExpired):
+                    error.when = self.now
+                self._schedule_step(proc, exc=error)
+
+        proc._wait_timer = self.call_at(delay, fire)
 
     def _trace_block(self, proc: Process) -> None:
         tr = self.tracer
@@ -232,6 +289,16 @@ class Engine:
             else:
                 proc._blocked_on = f"event:{ev.name}"
                 ev._waiters.append(proc)
+                if cmd.timeout is not None:
+
+                    def _unwait(waiters=ev._waiters, proc=proc) -> bool:
+                        try:
+                            waiters.remove(proc)
+                        except ValueError:
+                            return False
+                        return True
+
+                    self._arm_wait_timer(proc, cmd.timeout, cmd.timeout_error, _unwait)
                 self._trace_block(proc)
         elif isinstance(cmd, AllOf):
             self._dispatch_allof(proc, cmd)
@@ -243,6 +310,16 @@ class Engine:
             else:
                 proc._blocked_on = f"get:{store.name}"
                 store._getters.append((proc, cmd.filter))
+                if cmd.timeout is not None:
+
+                    def _unget(getters=store._getters, proc=proc) -> bool:
+                        for i, (p, _flt) in enumerate(getters):
+                            if p is proc:
+                                del getters[i]
+                                return True
+                        return False
+
+                    self._arm_wait_timer(proc, cmd.timeout, cmd.timeout_error, _unget)
                 self._trace_block(proc)
         elif isinstance(cmd, Put):
             store = cmd.store

@@ -42,12 +42,26 @@ class Timeout(Command):
 
 
 class WaitEvent(Command):
-    """Suspend until ``event`` is triggered; resumes with the event's value."""
+    """Suspend until ``event`` is triggered; resumes with the event's value.
 
-    __slots__ = ("event",)
+    An optional ``timeout`` bounds the wait: if the event has not
+    triggered after ``timeout`` simulated seconds, ``timeout_error``
+    (default :class:`~repro.errors.TimeoutExpired`) is thrown into the
+    waiting process instead.  The timer is cancelled on normal wakeup, so
+    a satisfied wait leaves no residue in the event queue.
+    """
 
-    def __init__(self, event: Event):
+    __slots__ = ("event", "timeout", "timeout_error")
+
+    def __init__(
+        self,
+        event: Event,
+        timeout: Optional[float] = None,
+        timeout_error: Optional[BaseException] = None,
+    ):
         self.event = event
+        self.timeout = timeout
+        self.timeout_error = timeout_error
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"WaitEvent({self.event!r})"
@@ -66,13 +80,26 @@ class AllOf(Command):
 
 
 class Get(Command):
-    """Take one item from a :class:`repro.simcore.resources.Store` (FIFO)."""
+    """Take one item from a :class:`repro.simcore.resources.Store` (FIFO).
 
-    __slots__ = ("store", "filter")
+    ``timeout``/``timeout_error`` bound the wait exactly as on
+    :class:`WaitEvent`: an unmatched get expires after ``timeout``
+    simulated seconds by throwing into the blocked process.
+    """
 
-    def __init__(self, store, filter=None):
+    __slots__ = ("store", "filter", "timeout", "timeout_error")
+
+    def __init__(
+        self,
+        store,
+        filter=None,
+        timeout: Optional[float] = None,
+        timeout_error: Optional[BaseException] = None,
+    ):
         self.store = store
         self.filter = filter
+        self.timeout = timeout
+        self.timeout_error = timeout_error
 
 
 class Put(Command):
@@ -106,9 +133,15 @@ class Process:
         Shortcut for ``done.value`` (``None`` until finished).
     name:
         Optional label used in error messages and traces.
+    failure:
+        The exception that killed the process (``None`` while alive or
+        after a clean finish).  A failed process is retired from the
+        engine; any wakeup still queued for it is silently dropped, and
+        synchronization primitives skip it when granting items or slots.
     """
 
-    __slots__ = ("gen", "name", "done", "engine", "_blocked_on")
+    __slots__ = ("gen", "name", "done", "engine", "_blocked_on", "failure",
+                 "_wait_timer")
 
     def __init__(self, engine, gen: Generator, name: Optional[str] = None):
         self.engine = engine
@@ -116,6 +149,8 @@ class Process:
         self.name = name or getattr(gen, "__name__", "process")
         self.done = Event(name=f"{self.name}.done")
         self._blocked_on: Optional[str] = None
+        self.failure: Optional[BaseException] = None
+        self._wait_timer: Optional[list] = None  # armed WaitEvent/Get timeout
 
     @property
     def value(self) -> Any:
@@ -126,11 +161,22 @@ class Process:
         return self.done.triggered
 
     def fail(self, exc: BaseException) -> None:
-        """Throw ``exc`` into the process at its current yield point."""
+        """Throw ``exc`` into the process at its current yield point.
+
+        If the process does not catch it, the process is marked failed
+        (see :attr:`failure`) and the exception propagates out of the
+        engine's run loop; wait queues the process sat in drop it on
+        their next grant.
+        """
         if self.finished:
             raise SimulationError(f"cannot fail finished process {self.name}")
+        if self.failure is not None:
+            raise SimulationError(f"process {self.name} already failed")
         self.engine._step(self, exc=exc)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "done" if self.finished else (self._blocked_on or "ready")
+        if self.failure is not None:
+            state = f"failed:{type(self.failure).__name__}"
+        else:
+            state = "done" if self.finished else (self._blocked_on or "ready")
         return f"<Process {self.name} [{state}]>"

@@ -42,7 +42,7 @@ class Event:
         for w in waiters:
             if callable(w):
                 w(value)
-            else:  # a Process
+            elif w.failure is None:  # a live Process (failed ones are dropped)
                 w.engine._schedule_step(w, value)
         return self
 
@@ -90,13 +90,21 @@ class Store:
         """Hand ``item`` to the first waiting getter that accepts it.
 
         Returns True if a getter consumed the item (it is then *not*
-        stored).  Called by the engine on ``Put``.
+        stored).  Called by the engine on ``Put``.  Getters whose process
+        has failed (:meth:`~repro.simcore.process.Process.fail`) are
+        purged in passing — a dead rank must not consume messages.
         """
-        for i, (proc, flt) in enumerate(self._getters):
+        i = 0
+        while i < len(self._getters):
+            proc, flt = self._getters[i]
+            if proc.failure is not None:
+                del self._getters[i]
+                continue
             if flt is None or flt(item):
                 del self._getters[i]
                 proc.engine._schedule_step(proc, item)
                 return True
+            i += 1
         return False
 
     @property
@@ -148,10 +156,13 @@ class Resource:
         if self.in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
         handoff = None
-        if self._waiters:
+        while self._waiters:
             proc = self._waiters.popleft()
+            if proc.failure is not None:
+                continue  # dead waiter: never grant it the slot
             handoff = proc.name
             proc.engine._schedule_step(proc, None)  # slot transfers; in_use unchanged
+            break
         else:
             self.in_use -= 1
         tr = self.tracer

@@ -173,6 +173,27 @@ def test_thread_sweep_batch_raises_when_not_skipping():
         )
 
 
+def test_thread_sweep_batch_scalar_disagreement_is_an_error(monkeypatch):
+    """Regression: with ``skip_infeasible=False`` a point the batch path
+    masks but the scalar path prices must surface as an explicit error,
+    not silently vanish from the sweep."""
+    from repro.errors import SimulationError
+
+    ev = Evaluator()
+    kern = class_c_kernel("MG")
+    real_batch = Evaluator.native_batch
+
+    def lying_batch(self, dev, kernel, counts, **kw):
+        out = real_batch(self, dev, kernel, counts, **kw)
+        out[0] = None  # mask a perfectly feasible point
+        return out
+
+    monkeypatch.setattr(Evaluator, "native_batch", lying_batch)
+    with pytest.raises(SimulationError, match="disagreement"):
+        thread_sweep(ev, kern, Device.PHI0, [59, 118],
+                     skip_infeasible=False, batch=True)
+
+
 def test_decomposition_sweep_batch_identical():
     from repro.apps import OverflowModel, dataset
 

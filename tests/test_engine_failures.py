@@ -1,0 +1,304 @@
+"""Engine failure paths: Process.fail, dead-waiter handling, timeouts.
+
+The graceful-degradation contract: killing a process retires it cleanly
+(wait queues drop it, no message or resource slot is ever granted to a
+corpse), the run loop is resumable past the failure, and bounded waits
+(``WaitEvent``/``Get`` timeouts) fire exactly once and leave no residue
+in the event queue when satisfied early.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError, TimeoutExpired
+from repro.simcore import (
+    Acquire,
+    Engine,
+    Event,
+    Get,
+    Put,
+    Resource,
+    Store,
+    Timeout,
+    WaitEvent,
+)
+
+
+class Boom(RuntimeError):
+    pass
+
+
+# ------------------------------------------------------------ Process.fail
+
+
+class TestProcessFail:
+    def test_fail_blocked_process_propagates_and_retires(self):
+        eng = Engine()
+        ev = Event()
+
+        def victim():
+            yield WaitEvent(ev)
+
+        def bystander():
+            yield Timeout(2.0)
+            return "alive"
+
+        v = eng.spawn(victim(), name="victim")
+        b = eng.spawn(bystander(), name="bystander")
+        eng.call_at(1.0, lambda: v.fail(Boom("injected")))
+        with pytest.raises(Boom):
+            eng.run()
+        assert isinstance(v.failure, Boom)
+        assert not v.finished
+        # The run loop is resumable past the failure; the failed process
+        # no longer counts as blocked, so no deadlock is reported.
+        eng.run()
+        assert b.value == "alive"
+        assert eng.now == 2.0
+
+    def test_fail_ready_process_before_start(self):
+        eng = Engine()
+
+        def victim():
+            yield Timeout(1.0)
+
+        def bystander():
+            yield Timeout(1.0)
+            return 7
+
+        v = eng.spawn(victim(), name="victim")
+        b = eng.spawn(bystander(), name="bystander")
+        with pytest.raises(Boom):
+            v.fail(Boom())
+        assert v.failure is not None
+        # The victim's queued initial wakeup is a stale entry now: it is
+        # dropped silently and the rest of the simulation proceeds.
+        eng.run()
+        assert b.value == 7
+
+    def test_fail_finished_process_rejected(self):
+        eng = Engine()
+
+        def quick():
+            return 1
+            yield  # pragma: no cover
+
+        p = eng.spawn(quick(), name="quick")
+        eng.run()
+        with pytest.raises(SimulationError, match="finished"):
+            p.fail(Boom())
+
+    def test_double_fail_rejected(self):
+        eng = Engine()
+
+        def victim():
+            yield Timeout(10.0)
+
+        p = eng.spawn(victim(), name="victim")
+        with pytest.raises(Boom):
+            p.fail(Boom())
+        with pytest.raises(SimulationError, match="already failed"):
+            p.fail(Boom())
+
+    def test_repr_shows_failure(self):
+        eng = Engine()
+
+        def victim():
+            yield Timeout(1.0)
+
+        p = eng.spawn(victim(), name="v")
+        with pytest.raises(Boom):
+            p.fail(Boom())
+        assert "failed:Boom" in repr(p)
+
+
+# ------------------------------------------------- primitives skip corpses
+
+
+class TestDeadWaiters:
+    def test_event_succeed_skips_failed_waiter(self):
+        eng = Engine()
+        ev = Event()
+        woke = []
+
+        def waiter(name):
+            val = yield WaitEvent(ev)
+            woke.append((name, val))
+
+        v = eng.spawn(waiter("dead"), name="dead")
+        eng.spawn(waiter("live"), name="live")
+
+        def kill_and_fire():
+            try:
+                v.fail(Boom())
+            except Boom:
+                pass
+            ev.succeed("payload")
+
+        eng.call_at(1.0, kill_and_fire)
+        eng.run()
+        assert woke == [("live", "payload")]
+
+    def test_store_offer_purges_failed_getter(self):
+        eng = Engine()
+        store = Store()
+        got = []
+
+        def getter(name):
+            item = yield Get(store)
+            got.append((name, item))
+
+        def producer():
+            yield Timeout(2.0)
+            yield Put(store, "msg")
+
+        dead = eng.spawn(getter("dead"), name="dead")
+        eng.spawn(getter("live"), name="live")
+        eng.spawn(producer(), name="producer")
+        eng.call_at(1.0, lambda: dead.fail(Boom()))
+        with pytest.raises(Boom):
+            eng.run()
+        eng.run()
+        # The dead rank never consumes the message: FIFO order would have
+        # handed it to "dead", but the corpse is purged in passing.
+        assert got == [("live", "msg")]
+
+    def test_resource_release_skips_failed_waiter(self):
+        eng = Engine()
+        res = Resource(capacity=1)
+        granted = []
+
+        def holder():
+            yield Acquire(res)
+            yield Timeout(2.0)
+            res.release()
+
+        def waiter(name):
+            yield Acquire(res)
+            granted.append((name, eng.now))
+            res.release()
+
+        eng.spawn(holder(), name="holder")
+        dead = eng.spawn(waiter("dead"), name="dead")
+        eng.spawn(waiter("live"), name="live")
+        eng.call_at(1.0, lambda: dead.fail(Boom()))
+        with pytest.raises(Boom):
+            eng.run()
+        eng.run()
+        # The slot transfers to the live waiter, not the corpse, and is
+        # fully released afterwards.
+        assert granted == [("live", 2.0)]
+        assert res.in_use == 0
+
+
+# ---------------------------------------------------------- deadlock report
+
+
+def test_deadlock_report_truncates_past_eight_processes():
+    eng = Engine()
+    ev = Event()
+
+    def stuck():
+        yield WaitEvent(ev)
+
+    for i in range(12):
+        eng.spawn(stuck(), name=f"p{i:02d}")
+    with pytest.raises(DeadlockError) as ei:
+        eng.run()
+    msg = str(ei.value)
+    assert "12 blocked process(es)" in msg
+    assert "(+4 more)" in msg
+    # Only the first eight are named.
+    assert "p07" in msg and "p08" not in msg
+
+
+# --------------------------------------------------------------- timeouts
+
+
+class TestWaitTimeouts:
+    def test_waitevent_timeout_throws_timeout_expired(self):
+        eng = Engine()
+        ev = Event()
+        seen = {}
+
+        def waiter():
+            try:
+                yield WaitEvent(ev, timeout=2.5)
+            except TimeoutExpired as exc:
+                seen["exc"] = exc
+            return "survived"
+
+        p = eng.spawn(waiter(), name="w")
+        eng.run()
+        assert p.value == "survived"
+        assert eng.now == 2.5
+        assert seen["exc"].when == 2.5
+        assert len(ev._waiters) == 0  # unregistered by the timer
+
+    def test_waitevent_timer_cancelled_on_early_wakeup(self):
+        eng = Engine()
+        ev = Event()
+
+        def waiter():
+            val = yield WaitEvent(ev, timeout=100.0)
+            return val
+
+        p = eng.spawn(waiter(), name="w")
+        eng.call_at(1.0, lambda: ev.succeed("early"))
+        eng.run()
+        assert p.value == "early"
+        # The pending timer was tombstoned: the queue drained at the
+        # event time, not at the 100 s timeout horizon.
+        assert eng.now == 1.0
+
+    def test_get_timeout_and_unregister(self):
+        eng = Engine()
+        store = Store()
+
+        def getter():
+            try:
+                yield Get(store, timeout=3.0)
+            except TimeoutExpired:
+                return "expired"
+            return "got"  # pragma: no cover
+
+        p = eng.spawn(getter(), name="g")
+        eng.run()
+        assert p.value == "expired"
+        assert store.n_waiting == 0
+
+    def test_get_custom_timeout_error(self):
+        eng = Engine()
+        store = Store()
+        marker = TimeoutExpired("custom op", 1.5)
+
+        def getter():
+            try:
+                yield Get(store, timeout=1.5, timeout_error=marker)
+            except TimeoutExpired as exc:
+                return exc
+
+        p = eng.spawn(getter(), name="g")
+        eng.run()
+        assert p.value is marker
+        assert p.value.when == 1.5  # stamped by the engine at fire time
+
+    def test_timeout_after_item_arrives_is_not_spurious(self):
+        eng = Engine()
+        store = Store()
+
+        def getter():
+            item = yield Get(store, timeout=5.0)
+            yield Timeout(10.0)  # outlive the (cancelled) timer horizon
+            return item
+
+        def producer():
+            yield Timeout(1.0)
+            yield Put(store, "x")
+
+        p = eng.spawn(getter(), name="g")
+        eng.spawn(producer(), name="p")
+        eng.run()
+        assert p.value == "x"
+        assert eng.now == 11.0
