@@ -22,7 +22,7 @@ from dataclasses import replace
 from repro.core.software import POST_UPDATE, SoftwareStack
 from repro.machine.presets import xeon_phi_5110p
 from repro.machine.spec import ProcessorSpec
-from repro.mpi.fabrics import PHI_BASE, Fabric, phi_fabric
+from repro.mpi.fabrics import PHI_BASE, Fabric
 
 
 def phi_without_bank_thrash() -> ProcessorSpec:

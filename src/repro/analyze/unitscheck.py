@@ -1,0 +1,199 @@
+"""Repo-specific units lint: raw-float arithmetic mixing quantities.
+
+The model layers (``machine/``, ``execmodel/``) work in plain floats
+scaled by the :mod:`repro.units` constants.  That is fast and simple,
+but nothing stops ``latency + nbytes`` from type-checking.  This pass
+infers a coarse unit *category* — time, data, frequency, compute — for
+expressions built from the ``units`` constants and flags additions,
+subtractions, and comparisons that mix categories:
+
+=======  ===========================================================
+RPA101   ``+``/``-`` mixing different unit categories
+RPA102   comparison mixing different unit categories
+=======  ===========================================================
+
+Inference is deliberately shallow: a category is assigned only when an
+operand *provably* carries one (a ``units`` constant, or a product /
+quotient thereof).  Dividing two quantities of the same category yields
+a dimensionless value; any other unknown combination infers to "no
+category" and is never flagged.  The result is a near-zero
+false-positive pass suitable for CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.analyze.staticcheck import Diagnostic
+
+__all__ = ["UNIT_CATEGORIES", "check_units_paths", "check_units_source"]
+
+#: units.py constant name -> category.
+UNIT_CATEGORIES: Dict[str, str] = {
+    # time
+    "NS": "time",
+    "US": "time",
+    "MS": "time",
+    "SEC": "time",
+    "MINUTE": "time",
+    # data
+    "KiB": "data",
+    "MiB": "data",
+    "GiB": "data",
+    "TiB": "data",
+    "KB": "data",
+    "MB": "data",
+    "GB": "data",
+    "TB": "data",
+    # frequency
+    "KHZ": "frequency",
+    "MHZ": "frequency",
+    "GHZ": "frequency",
+    # compute
+    "MFLOP": "compute",
+    "GFLOP": "compute",
+    "TFLOP": "compute",
+}
+
+_DIMENSIONLESS = "dimensionless"
+
+
+class _UnitNames:
+    """Names bound to units constants in one module (import tracking)."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.names: Dict[str, str] = {}
+        self.module_aliases: List[str] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "repro.units",
+                "units",
+            ):
+                for alias in node.names:
+                    category = UNIT_CATEGORIES.get(alias.name)
+                    if category is not None:
+                        self.names[alias.asname or alias.name] = category
+            elif isinstance(node, ast.ImportFrom) and node.module == "repro":
+                for alias in node.names:
+                    if alias.name == "units":
+                        self.module_aliases.append(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("repro.units", "units"):
+                        self.module_aliases.append(alias.asname or alias.name)
+
+    def category_of(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self.names.get(node.id)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("units",) + tuple(self.module_aliases)
+        ):
+            return UNIT_CATEGORIES.get(node.attr)
+        return None
+
+
+def _infer(node: ast.expr, units: _UnitNames) -> Optional[str]:
+    """Category of an expression, ``_DIMENSIONLESS``, or None (unknown)."""
+    direct = units.category_of(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return _DIMENSIONLESS
+    if isinstance(node, ast.UnaryOp):
+        return _infer(node.operand, units)
+    if isinstance(node, ast.BinOp):
+        left = _infer(node.left, units)
+        right = _infer(node.right, units)
+        if isinstance(node.op, ast.Mult):
+            if left == _DIMENSIONLESS:
+                return right
+            if right == _DIMENSIONLESS:
+                return left
+            return None  # unit * unit: a compound we do not model
+        if isinstance(node.op, ast.Div):
+            if right == _DIMENSIONLESS:
+                return left
+            if left is not None and left == right:
+                return _DIMENSIONLESS
+            return None
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and left == right:
+                return left
+            return None
+    return None
+
+
+def check_units_source(
+    source: str, filename: str = "<string>"
+) -> List[Diagnostic]:
+    """Units-lint one module's source text."""
+    tree = ast.parse(source, filename=filename)
+    units = _UnitNames(tree)
+    diags: List[Diagnostic] = []
+    if not units.names and not units.module_aliases:
+        return diags  # module never touches repro.units
+
+    def flag(code: str, node: ast.AST, left: str, right: str, op: str) -> None:
+        diags.append(
+            Diagnostic(
+                code=code,
+                message=f"{op} mixes {left} and {right} quantities",
+                hint=(
+                    "convert one side first (divide by its unit constant) "
+                    "or compute in a single category"
+                ),
+                file=filename,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left = _infer(node.left, units)
+            right = _infer(node.right, units)
+            if (
+                left is not None
+                and right is not None
+                and left != right
+                and _DIMENSIONLESS not in (left, right)
+            ):
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                flag("RPA101", node, left, right, op)
+        elif isinstance(node, ast.Compare) and len(node.comparators) == 1:
+            left = _infer(node.left, units)
+            right = _infer(node.comparators[0], units)
+            if (
+                left is not None
+                and right is not None
+                and left != right
+                and _DIMENSIONLESS not in (left, right)
+            ):
+                flag("RPA102", node, left, right, "comparison")
+    diags.sort(key=lambda d: (d.file, d.line, d.code))
+    return diags
+
+
+def check_units_paths(paths: Iterable[str]) -> List[Diagnostic]:
+    """Units-lint files and directories (recursing into ``*.py``)."""
+    diags: List[Diagnostic] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        full = os.path.join(dirpath, name)
+                        with open(full, "r", encoding="utf-8") as fh:
+                            diags.extend(
+                                check_units_source(fh.read(), filename=full)
+                            )
+        else:
+            with open(path, "r", encoding="utf-8") as fh:
+                diags.extend(check_units_source(fh.read(), filename=path))
+    return diags

@@ -12,12 +12,11 @@ generated deterministically so experiments are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.units import GB
 
 
 @dataclass(frozen=True)
@@ -93,7 +92,10 @@ class GridSystem:
         return max(self.zone_sizes) / self.grid_points
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<GridSystem {self.name}: {self.n_zones} zones, {self.grid_points:,} pts>"
+        return (
+            f"<GridSystem {self.name}: {self.n_zones} zones, "
+            f"{self.grid_points:,} pts>"
+        )
 
 
 def dataset(name: str) -> GridSystem:

@@ -38,7 +38,7 @@ from repro.machine.presets import maia_host_processor, maia_infiniband, xeon_phi
 from repro.machine.processor import Processor
 from repro.mpi.fabrics import host_fabric, phi_fabric
 from repro.obs.tracer import Tracer, active
-from repro.units import KiB, MiB
+from repro.units import KiB
 
 
 # ==========================================================================

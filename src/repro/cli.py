@@ -10,6 +10,9 @@ Commands
 ``modes``             NPB MG under the four programming modes.
 ``bench``             Self-benchmark the simulator (``--parallel N``, ``--quick``).
 ``faults``            Run an experiment under a fault plan (``--plan file.json``).
+``check``             MPI correctness: static lint of rank programs
+                      (``repro check examples``) or dynamic verification
+                      (``repro check allreduce --dynamic``).
 
 The heavy per-figure assertions live in ``benchmarks/``; the CLI renders
 the same data for interactive exploration.
@@ -18,12 +21,14 @@ the same data for interactive exploration.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from functools import partial
 from typing import List, Optional
 
 from repro.core.report import figure_header, fmt_rate, fmt_size, render_table
-from repro.units import GB, KiB, MiB, NS, US
+from repro.units import KiB, NS, US
 
 
 def _print(text: str) -> None:
@@ -127,7 +132,15 @@ def _fig8() -> None:
     _print(figure_header("Figure 8", "MPI bandwidth over PCIe"))
     _print(
         render_table(
-            ("size", "pre h-p0", "pre h-p1", "pre p-p", "post h-p0", "post h-p1", "post p-p"),
+            (
+                "size",
+                "pre h-p0",
+                "pre h-p1",
+                "pre p-p",
+                "post h-p0",
+                "post h-p1",
+                "post p-p",
+            ),
             rows,
         )
     )
@@ -160,7 +173,10 @@ def _mpi_func_fig(fig: int, bench: str) -> None:
         rows.append(row)
     _print(figure_header(f"Figure {fig}", f"MPI_{bench.capitalize()} time (µs)"))
     _print(
-        render_table(("size", "host", "phi 1t/c", "phi 2t/c", "phi 3t/c", "phi 4t/c"), rows)
+        render_table(
+            ("size", "host", "phi 1t/c", "phi 2t/c", "phi 3t/c", "phi 4t/c"),
+            rows,
+        )
     )
 
 
@@ -195,7 +211,11 @@ def _fig17() -> None:
 
     data = fig17_data()
     rows = [
-        (dev, fmt_rate(v["write"]), fmt_rate(v["read"]) if v["read"] == v["read"] else "-")
+        (
+            dev,
+            fmt_rate(v["write"]),
+            fmt_rate(v["read"]) if v["read"] == v["read"] else "-",
+        )
         for dev, v in data.items()
     ]
     _print(figure_header("Figure 17", "sequential I/O bandwidth"))
@@ -208,7 +228,11 @@ def _fig18() -> None:
     data = fig18_data()
     sizes = [n for n, _ in data["host-phi0"]]
     rows = [
-        (fmt_size(n), fmt_rate(dict(data["host-phi0"])[n]), fmt_rate(dict(data["host-phi1"])[n]))
+        (
+            fmt_size(n),
+            fmt_rate(dict(data["host-phi0"])[n]),
+            fmt_rate(dict(data["host-phi1"])[n]),
+        )
         for n in sizes
     ]
     _print(figure_header("Figure 18", "offload PCIe bandwidth"))
@@ -267,7 +291,9 @@ def _fig22() -> None:
     m = OverflowModel(dataset("DLRF6-Medium"))
     rows = []
     for i, j in ((16, 1), (8, 2), (4, 4), (2, 8), (1, 16)):
-        rows.append(("host", f"{i}x{j}", f"{m.native_step(Device.HOST, i, j).time:.3f}"))
+        rows.append(
+            ("host", f"{i}x{j}", f"{m.native_step(Device.HOST, i, j).time:.3f}")
+        )
     for i, j in ((4, 14), (4, 28), (8, 14), (8, 28)):
         rows.append(("phi", f"{i}x{j}", f"{m.native_step(Device.PHI0, i, j).time:.3f}"))
     _print(figure_header("Figure 22", "OVERFLOW DLRF6-Medium (s/step)"))
@@ -315,7 +341,9 @@ def _fig25() -> None:
         ("native phi 177", f"{ev.native(Device.PHI0, k, 177).gflops:.1f}"),
     ]
     for name, region in offload_regions("C").items():
-        rows.append((f"offload {name}", f"{ev.offload(region, n_threads=177).gflops:.2f}"))
+        rows.append(
+            (f"offload {name}", f"{ev.offload(region, n_threads=177).gflops:.2f}")
+        )
     _print(figure_header("Figure 25", "MG Class C modes (Gflop/s)"))
     _print(render_table(("mode", "Gflop/s"), rows))
 
@@ -337,7 +365,11 @@ def _fig26_27() -> None:
         for name, r in reports.items()
     ]
     _print(figure_header("Figures 26-27", "MG offload anatomy"))
-    _print(render_table(("version", "invocations", "data", "overhead (s)", "total (s)"), rows))
+    _print(
+        render_table(
+            ("version", "invocations", "data", "overhead (s)", "total (s)"), rows
+        )
+    )
 
 
 _FIGURES = {
@@ -378,7 +410,12 @@ def _cmd_npb(problem: str, benchmarks: Optional[List[str]]) -> int:
 
     results = run_real(benchmarks, problem=problem)
     rows = [
-        (name, "VERIFIED" if r.verified else "FAILED", f"{r.wall_seconds:.3f}", f"{r.mops:.1f}")
+        (
+            name,
+            "VERIFIED" if r.verified else "FAILED",
+            f"{r.wall_seconds:.3f}",
+            f"{r.mops:.1f}",
+        )
         for name, r in results.items()
     ]
     _print(render_table(("benchmark", "verification", "seconds", "Mop/s"), rows,
@@ -609,6 +646,128 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+#: Experiments the ``check --dynamic`` verifier can run.  The first five
+#: mirror the ``trace`` experiments (Fig 10-13 collectives + halo) and
+#: verify clean; ``race`` and ``leak`` are purpose-built demos that the
+#: verifier flags.
+VERIFY_EXPERIMENTS = (
+    "allreduce",
+    "bcast",
+    "allgather",
+    "alltoall",
+    "halo",
+    "race",
+    "leak",
+)
+
+
+def _verify_main(experiment: str, nbytes: int):
+    """Rank main for the ``check --dynamic`` experiments."""
+    if experiment == "race":
+
+        def race(comm):
+            # Ranks 1..P-1 all send the same tag; rank 0 drains them with
+            # ANY_SOURCE receives -> every match is a wildcard race.
+            if comm.rank == 0:
+                order = []
+                for _ in range(comm.size - 1):
+                    env = yield from comm.recv()
+                    order.append(env.source)
+                return order
+            yield from comm.send(0, nbytes=nbytes, tag=7)
+
+        return race
+    if experiment == "leak":
+
+        def leak(comm):
+            # Rank 0 posts an irecv it never waits; the verifier reports
+            # the handle at finalize.
+            if comm.rank == 0:
+                comm.irecv(source=1)
+                yield from comm.compute(1e-6)
+                return None
+            if comm.rank == 1:
+                yield from comm.send(0, nbytes=nbytes)
+            yield from comm.compute(1e-6)
+
+        return leak
+    return _trace_main(experiment, nbytes)
+
+
+def _load_baseline(path: str):
+    """Baseline keys (code, file, message) accepted as pre-existing."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {
+        (d["code"], d["file"], d["message"]) for d in data.get("diagnostics", [])
+    }
+
+
+def _cmd_check(args) -> int:
+    from repro.analyze import (
+        check_paths,
+        check_units_paths,
+        render_diagnostics,
+        verify_mpiexec,
+    )
+
+    paths = [t for t in args.targets if os.path.exists(t)]
+    experiments = [t for t in args.targets if t not in paths]
+    if args.dynamic:
+        experiments = list(args.targets)
+        paths = []
+    bad = [e for e in experiments if e not in VERIFY_EXPERIMENTS]
+    if bad:
+        _print(
+            f"unknown target(s) {bad}: not a path and not one of "
+            f"{', '.join(VERIFY_EXPERIMENTS)}"
+        )
+        return 2
+
+    failures = 0
+    json_payload: dict = {}
+
+    if paths:
+        checker = check_units_paths if args.units else check_paths
+        diags = checker(paths)
+        if args.baseline:
+            accepted = _load_baseline(args.baseline)
+            diags = [d for d in diags if d.key() not in accepted]
+        _print(f"static check: {' '.join(paths)}")
+        _print(render_diagnostics(diags))
+        json_payload["diagnostics"] = [
+            {
+                "code": d.code,
+                "file": d.file,
+                "line": d.line,
+                "message": d.message,
+                "hint": d.hint,
+            }
+            for d in diags
+        ]
+        failures += len(diags)
+
+    if experiments:
+        from repro.mpi.fabrics import host_fabric, phi_fabric
+
+        fabric = host_fabric() if args.fabric == "host" else phi_fabric(args.tpc)
+        json_payload["experiments"] = {}
+        for exp in experiments:
+            main = _verify_main(exp, args.nbytes)
+            _print(f"dynamic check: {exp}  ranks={args.ranks}  "
+                   f"fabric={args.fabric}")
+            _result, report = verify_mpiexec(args.ranks, fabric, main)
+            _print(report.render())
+            json_payload["experiments"][exp] = json.loads(report.to_json())
+            failures += len(report.issues)
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(json_payload, fh, indent=2, sort_keys=True)
+        _print(f"report written to {args.json}")
+    return 1 if failures else 0
+
+
 # --------------------------------------------------------------------------
 # entry point
 # --------------------------------------------------------------------------
@@ -696,6 +855,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--timeline", action="store_true",
         help="render the faulted run's ASCII timeline (fault instants as '!')",
     )
+    p_check = sub.add_parser(
+        "check", help="MPI correctness checks (static lint / dynamic verifier)"
+    )
+    p_check.add_argument(
+        "targets", nargs="+", metavar="TARGET",
+        help="files/directories to lint, or experiment names "
+        f"({', '.join(VERIFY_EXPERIMENTS)}) to verify dynamically",
+    )
+    p_check.add_argument(
+        "--static", action="store_true",
+        help="static AST lint (the default for path targets)",
+    )
+    p_check.add_argument(
+        "--dynamic", action="store_true",
+        help="run targets as experiments under the vector-clock verifier",
+    )
+    p_check.add_argument(
+        "--units", action="store_true",
+        help="units lint (mixed seconds/bytes arithmetic) instead of MPI lint",
+    )
+    p_check.add_argument("--ranks", type=int, default=8, help="MPI ranks (default 8)")
+    p_check.add_argument(
+        "--nbytes", type=int, default=1024, help="message size (default 1024)"
+    )
+    p_check.add_argument("--fabric", default="host", choices=("host", "phi"))
+    p_check.add_argument(
+        "--tpc", type=int, default=3, choices=(1, 2, 3, 4),
+        help="threads/core for the phi fabric",
+    )
+    p_check.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline of accepted diagnostics; only new ones fail",
+    )
+    p_check.add_argument(
+        "--json", default=None, metavar="PATH", help="write a JSON report"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "table1":
@@ -734,6 +929,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "check":
+        return _cmd_check(args)
     return 2  # pragma: no cover
 
 

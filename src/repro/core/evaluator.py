@@ -224,7 +224,9 @@ class Evaluator:
         if check_memory:
             self._check_pressure(kernel, proc)
         sync = barrier_cost(proc.spec, n_threads) if kernel.sync_points else 0.0
-        t = kernel_time(kernel, proc, n_threads, sync_cost=sync, check_memory=check_memory)
+        t = kernel_time(
+            kernel, proc, n_threads, sync_cost=sync, check_memory=check_memory
+        )
         mode = (
             ProgrammingMode.NATIVE_HOST
             if Device(dev) is Device.HOST

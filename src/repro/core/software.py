@@ -43,7 +43,10 @@ class SoftwareStack:
     def __post_init__(self) -> None:
         if self.eager_max <= 0:
             raise ConfigError("eager_max must be positive")
-        if self.ccl_rendezvous_max is not None and self.ccl_rendezvous_max < self.eager_max:
+        if (
+            self.ccl_rendezvous_max is not None
+            and self.ccl_rendezvous_max < self.eager_max
+        ):
             raise ConfigError("ccl_rendezvous_max must be >= eager_max")
 
     @property

@@ -23,7 +23,7 @@ back to the scalar loop with identical results.
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.errors import ConfigError, OutOfMemoryError
 from repro.execmodel.kernel import KernelSpec

@@ -9,7 +9,7 @@ subsystem").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.errors import ConfigError

@@ -20,7 +20,6 @@ what makes OVERFLOW — a bandwidth-bound code — slower on the Phi than its
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import ConfigError, OutOfMemoryError
 from repro.execmodel.kernel import KernelSpec

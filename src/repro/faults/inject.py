@@ -20,7 +20,7 @@ Two halves:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 from repro.errors import ConfigError, FaultError
 from repro.faults.plan import LinkDegradation

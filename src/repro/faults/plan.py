@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from fnmatch import fnmatch
 from typing import Any, Dict, Iterable, List, Optional, Union
 

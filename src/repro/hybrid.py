@@ -23,7 +23,7 @@ paper's best OVERFLOW configuration.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Generator, List, Optional
+from typing import Callable, Generator, Optional
 
 from repro.errors import ConfigError
 from repro.machine.spec import ProcessorSpec

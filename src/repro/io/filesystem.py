@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
-from repro.units import KiB, MB, US
+from repro.units import MB, US
 
 
 @dataclass(frozen=True)

@@ -100,7 +100,10 @@ class CacheWalkModel:
         return [(lvl[0], lvl[idx]) for lvl in self._levels]
 
     def sweep(
-        self, working_sets: Sequence[float], quantity: str = "latency", access: str = "read"
+        self,
+        working_sets: Sequence[float],
+        quantity: str = "latency",
+        access: str = "read",
     ) -> List[float]:
         """Vector convenience: evaluate latency or bandwidth over a sweep."""
         if quantity == "latency":

@@ -165,12 +165,18 @@ class ProcessorSpec:
         if any(a >= b for a, b in zip(lats, lats[1:])):
             raise ConfigError(f"{self.name}: cache latencies must increase outward")
         if self.cache_levels[-1].latency >= self.memory.latency:
-            raise ConfigError(f"{self.name}: memory latency must exceed last cache level")
+            raise ConfigError(
+                f"{self.name}: memory latency must exceed last cache level"
+            )
         for k, v in self.thread_throughput.items():
             if not (1 <= k <= self.core.hw_threads):
-                raise ConfigError(f"{self.name}: thread_throughput key {k} out of range")
+                raise ConfigError(
+                    f"{self.name}: thread_throughput key {k} out of range"
+                )
             if v <= 0:
-                raise ConfigError(f"{self.name}: thread_throughput values must be positive")
+                raise ConfigError(
+                    f"{self.name}: thread_throughput values must be positive"
+                )
         if self.os_reserved_cores < 0 or self.os_reserved_cores >= self.n_cores:
             raise ConfigError(f"{self.name}: os_reserved_cores out of range")
         if not (0.0 < self.os_core_penalty <= 1.0):

@@ -69,7 +69,9 @@ def mpi_function_sweep(
     sizes = list(sizes) if sizes else default_message_sizes()
     out: Dict[str, List[Tuple[int, Optional[float]]]] = {}
 
-    def series(fabric: Fabric, p: int, memory: float) -> List[Tuple[int, Optional[float]]]:
+    def series(
+        fabric: Fabric, p: int, memory: float
+    ) -> List[Tuple[int, Optional[float]]]:
         pts: List[Tuple[int, Optional[float]]] = []
         for n in sizes:
             if benchmark == "alltoall" and not alltoall_fits(p, n, memory):

@@ -12,7 +12,7 @@ from typing import Dict
 
 from repro.machine.presets import maia_host_processor, xeon_phi_5110p
 from repro.machine.spec import ProcessorSpec
-from repro.openmp.constructs import CONSTRUCTS, overhead_table
+from repro.openmp.constructs import overhead_table
 from repro.openmp.runtime import Team
 from repro.openmp.scheduling import SCHEDULES, scheduling_overhead
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.software import POST_UPDATE, PRE_UPDATE, SoftwareStack
-from repro.mpi.protocols import PciePathFabric, pcie_fabric
+from repro.mpi.protocols import pcie_fabric
 from repro.units import KiB, MiB
 
 PATHS = ("host-phi0", "host-phi1", "phi0-phi1")

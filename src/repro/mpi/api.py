@@ -21,12 +21,20 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
-from repro.errors import ConfigError, TimeoutExpired
+from repro.errors import ConfigError, FaultError, TimeoutExpired
 from repro.mpi.messages import ANY_SOURCE, ANY_TAG, Envelope, match_filter
 from repro.obs.tracer import NULL_CONTEXT, Tracer, active
 from repro.simcore import Engine, Event, Get, Put, Timeout, WaitEvent
 
 FabricResolver = Callable[[int, int], Any]
+
+
+class _CollectiveCancelled(BaseException):
+    """Thrown into a collective's worker when its deadline expires.
+
+    A ``BaseException`` so the stepped algorithms (which catch nothing)
+    cannot swallow it; it never escapes :meth:`Communicator._bounded`.
+    """
 
 
 class Request:
@@ -37,20 +45,58 @@ class Request:
     skip the worker generator entirely when tracing is off).
     """
 
-    __slots__ = ("_event", "_keep_value")
+    __slots__ = ("_event", "_keep_value", "op", "cancelled", "_verify")
 
-    def __init__(self, event: Event, keep_value: bool = True):
+    def __init__(self, event: Event, keep_value: bool = True, op: str = ""):
         self._event = event
         self._keep_value = keep_value
+        self.op = op
+        self.cancelled = False
+        self._verify: Optional[Any] = None
 
     def wait(self) -> Generator:
-        """Block until the operation completes; returns its result."""
-        result = yield WaitEvent(self._event)
+        """Block until the operation completes; returns its result.
+
+        Waiting on an already-completed request is a no-op: the result
+        is returned without re-entering the engine, so a request may be
+        waited more than once (e.g. once in a helper, once defensively
+        at teardown).
+        """
+        if self._verify is not None:
+            self._verify.note_wait(self)
+        if self._event.triggered:
+            result = self._event.value
+        else:
+            result = yield WaitEvent(self._event)
         return result if self._keep_value else None
+
+    def cancel(self) -> None:
+        """Mark the request deliberately abandoned.
+
+        This does *not* withdraw the message — the operation still
+        completes on its own — but the dynamic verifier will no longer
+        report the handle as a leaked request.
+        """
+        self.cancelled = True
+        if self._verify is not None:
+            self._verify.note_wait(self)
 
     @property
     def complete(self) -> bool:
         return self._event.triggered
+
+    #: Alias so diagnostics can say "completed" (mpi4py's Test() idiom).
+    completed = complete
+
+    def __repr__(self) -> str:
+        if self.cancelled:
+            state = "cancelled"
+        elif self._event.triggered:
+            state = "completed"
+        else:
+            state = "pending"
+        label = self.op or getattr(self._event, "name", None) or "request"
+        return f"<Request {label} [{state}]>"
 
 
 class Communicator:
@@ -79,6 +125,11 @@ class Communicator:
         rank's :meth:`compute` time; memory pressure tightens the
         :meth:`alltoall` feasibility check.  (Link faults act at the
         fabric layer; crashes are armed by the job.)
+    verifier:
+        Optional :class:`~repro.analyze.verifier.Verifier`.  When set,
+        sends, receives, requests and collectives report to its vector
+        clocks and ledgers; every hook sits behind an ``is not None``
+        check, so the disarmed hot path is unchanged.
     """
 
     def __init__(
@@ -92,6 +143,7 @@ class Communicator:
         trace_pid: str = "mpi",
         fast: Optional[Any] = None,
         faults: Optional[Any] = None,
+        verifier: Optional[Any] = None,
     ):
         if not (0 <= rank < size):
             raise ConfigError(f"rank {rank} out of range for size {size}")
@@ -106,6 +158,7 @@ class Communicator:
         self._fast = fast
         self._fast_seq = 0  # this rank's fast-collective call counter
         self._faults = faults
+        self._verifier = verifier
 
     # ------------------------------------------------------------ plumbing
 
@@ -166,6 +219,8 @@ class Communicator:
             payload=payload,
             pattern=pattern,
         )
+        if self._verifier is not None:
+            self._verifier.note_send(self.rank, env)
         try:
             yield Put(self._mailboxes[dest], env)
             if nbytes <= fabric.eager_max:
@@ -243,6 +298,8 @@ class Communicator:
                     attempts -= 1
                     if attempts <= 0:
                         raise
+            if self._verifier is not None:
+                self._verifier.note_recv(self.rank, env, source, tag)
             fabric = self.fabric(env.source)
             pattern = getattr(env, "pattern", "neighbor")
             transfer = fabric.p2p_time(
@@ -293,20 +350,24 @@ class Communicator:
                 post_time=engine.now,
                 payload=payload,
             )
+            if self._verifier is not None:
+                self._verifier.note_send(self.rank, env)
             mbox = self._mailboxes[dest]
             if not mbox._offer(env):
                 mbox.items.append(env)
             if nbytes <= fabric.eager_max:
                 done = Event(name=f"isend[{self.rank}->{dest}].done")
                 engine.call_at(fabric.sender_time(nbytes), done.succeed)
-                return Request(done)
-            # Rendezvous: the sender completes when the receiver matches.
-            return Request(env.done, keep_value=False)
+                req = Request(done)
+            else:
+                # Rendezvous: sender completes when the receiver matches.
+                req = Request(env.done, keep_value=False)
+            return self._register(req, "isend", dest, tag)
         proc = self.engine.spawn(
             self.send(dest, nbytes, tag, payload, _lane=self._nb_lane),
             name=f"isend[{self.rank}->{dest}]",
         )
-        return Request(proc.done)
+        return self._register(Request(proc.done), "isend", dest, tag)
 
     def irecv(
         self, source: Optional[int] = ANY_SOURCE, tag: Optional[int] = ANY_TAG
@@ -316,7 +377,17 @@ class Communicator:
             self.recv(source, tag, _lane=self._nb_lane),
             name=f"irecv[{self.rank}<-{source}]",
         )
-        return Request(proc.done)
+        return self._register(Request(proc.done), "irecv", source, tag)
+
+    def _register(
+        self, req: Request, kind: str, peer: Optional[int], tag: Optional[int]
+    ) -> Request:
+        """Report a fresh request to the verifier (no-op when disarmed)."""
+        if self._verifier is not None:
+            arrow = "->" if kind == "isend" else "<-"
+            req.op = f"{kind}[{self.rank}{arrow}{peer} tag={tag}]"
+            self._verifier.note_request(self.rank, req, kind, peer, tag)
+        return req
 
     @property
     def _nb_lane(self) -> str:
@@ -356,12 +427,14 @@ class Communicator:
             seconds *= self._faults.compute_factor(self.rank, self.engine.now)
         yield Timeout(seconds)
 
-    def barrier(self) -> Generator:
+    def barrier(self, deadline: Optional[float] = None) -> Generator:
         """Dissemination barrier: ⌈log2 p⌉ rounds of zero-byte exchanges."""
-        p = self.size
-        if p == 1:
+        if self.size == 1:
             return
-        sp = self._coll_span("barrier", 0)
+        yield from self._run_coll("barrier", self._barrier_body(), 0, deadline)
+
+    def _barrier_body(self) -> Generator:
+        p = self.size
         k = 1
         round_no = 0
         while k < p:
@@ -371,7 +444,6 @@ class Communicator:
             yield from self.sendrecv(dest, src, nbytes=0, tag=tag)
             k *= 2
             round_no += 1
-        self._coll_end(sp)
 
     # ----------------------------------------------------------- tracing
 
@@ -426,75 +498,159 @@ class Communicator:
             and active(self.tracer) is None
         )
 
-    def bcast(self, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
+    def _run_coll(
+        self,
+        kind: str,
+        gen: Generator,
+        nbytes: int,
+        deadline: Optional[float],
+        root: Optional[int] = None,
+    ) -> Generator:
+        """Drive a stepped collective: verifier note, span, deadline.
+
+        The span is closed in a ``finally`` so a collective that dies on
+        a fault or deadline still leaves a well-formed trace.
+        """
+        if self._verifier is not None:
+            self._verifier.note_collective(self.rank, kind, root, nbytes)
+        sp = self._coll_span(kind, nbytes)
+        try:
+            if deadline is None:
+                result = yield from gen
+            else:
+                result = yield from self._bounded(kind, gen, deadline)
+        finally:
+            self._coll_end(sp)
+        return result
+
+    def _bounded(self, kind: str, gen: Generator, deadline: float) -> Generator:
+        """Run a collective body with a simulated-seconds deadline.
+
+        The body runs as a child process joined with a bounded wait; on
+        expiry the child is cancelled (so it stops exchanging messages)
+        and :class:`~repro.errors.FaultError` naming the collective and
+        this rank is raised into the caller instead of hanging — e.g. a
+        symmetric-mode job whose peer rank crashed mid-collective.
+        """
+        if deadline <= 0:
+            raise ConfigError(f"deadline must be positive, got {deadline!r}")
+        proc = self.engine.spawn(
+            gen, name=f"{kind}.deadline[rank{self.rank}]"
+        )
+        try:
+            result = yield WaitEvent(
+                proc.done,
+                timeout=deadline,
+                timeout_error=FaultError(
+                    f"collective-deadline:{kind}",
+                    rank=self.rank,
+                    when=self.engine.now + deadline,
+                ),
+            )
+        except FaultError:
+            if not proc.finished and proc.failure is None:
+                try:
+                    proc.fail(_CollectiveCancelled())
+                except _CollectiveCancelled:
+                    pass
+            raise
+        return result
+
+    def bcast(
+        self, value: Any, root: int = 0, nbytes: int = 8,
+        deadline: Optional[float] = None,
+    ) -> Generator:
         from repro.mpi import collectives
 
-        if self._use_fast():
+        if deadline is None and self._use_fast():
             self._check_peer(root)
             return (yield from self._fast_collective("bcast", value, nbytes,
                                                      root=root))
-        sp = self._coll_span("bcast", nbytes)
-        result = yield from collectives.bcast(self, value, root, nbytes)
-        self._coll_end(sp)
+        result = yield from self._run_coll(
+            "bcast", collectives.bcast(self, value, root, nbytes),
+            nbytes, deadline, root=root,
+        )
         return result
 
-    def reduce(self, value: Any, op=None, root: int = 0, nbytes: int = 8) -> Generator:
+    def reduce(
+        self, value: Any, op=None, root: int = 0, nbytes: int = 8,
+        deadline: Optional[float] = None,
+    ) -> Generator:
         from repro.mpi import collectives
 
-        sp = self._coll_span("reduce", nbytes)
-        result = yield from collectives.reduce(self, value, op, root, nbytes)
-        self._coll_end(sp)
+        result = yield from self._run_coll(
+            "reduce", collectives.reduce(self, value, op, root, nbytes),
+            nbytes, deadline, root=root,
+        )
         return result
 
-    def allreduce(self, value: Any, op=None, nbytes: int = 8) -> Generator:
+    def allreduce(
+        self, value: Any, op=None, nbytes: int = 8,
+        deadline: Optional[float] = None,
+    ) -> Generator:
         from repro.mpi import collectives
 
-        if self._use_fast():
+        if deadline is None and self._use_fast():
             return (yield from self._fast_collective("allreduce", value,
                                                      nbytes, op=op))
-        sp = self._coll_span("allreduce", nbytes)
-        result = yield from collectives.allreduce(self, value, op, nbytes)
-        self._coll_end(sp)
+        result = yield from self._run_coll(
+            "allreduce", collectives.allreduce(self, value, op, nbytes),
+            nbytes, deadline,
+        )
         return result
 
-    def allgather(self, value: Any, nbytes: int = 8) -> Generator:
+    def allgather(
+        self, value: Any, nbytes: int = 8, deadline: Optional[float] = None
+    ) -> Generator:
         from repro.mpi import collectives
 
-        if self._use_fast():
+        if deadline is None and self._use_fast():
             return (yield from self._fast_collective("allgather", value, nbytes))
-        sp = self._coll_span("allgather", nbytes)
-        result = yield from collectives.allgather(self, value, nbytes)
-        self._coll_end(sp)
+        result = yield from self._run_coll(
+            "allgather", collectives.allgather(self, value, nbytes),
+            nbytes, deadline,
+        )
         return result
 
-    def alltoall(self, values, nbytes: int = 8) -> Generator:
+    def alltoall(
+        self, values, nbytes: int = 8, deadline: Optional[float] = None
+    ) -> Generator:
         from repro.mpi import collectives
 
         if self._faults is not None:
             # Memory pressure makes the Fig 14-style alltoall OOM fire at
             # smaller messages than the healthy card's 8 GiB would allow.
             self._faults.check_alltoall(self.size, nbytes)
-        if self._use_fast():
+        if deadline is None and self._use_fast():
             return (yield from self._fast_collective("alltoall", values, nbytes))
-        sp = self._coll_span("alltoall", nbytes)
-        result = yield from collectives.alltoall(self, values, nbytes)
-        self._coll_end(sp)
+        result = yield from self._run_coll(
+            "alltoall", collectives.alltoall(self, values, nbytes),
+            nbytes, deadline,
+        )
         return result
 
-    def gather(self, value: Any, root: int = 0, nbytes: int = 8) -> Generator:
+    def gather(
+        self, value: Any, root: int = 0, nbytes: int = 8,
+        deadline: Optional[float] = None,
+    ) -> Generator:
         from repro.mpi import collectives
 
-        sp = self._coll_span("gather", nbytes)
-        result = yield from collectives.gather(self, value, root, nbytes)
-        self._coll_end(sp)
+        result = yield from self._run_coll(
+            "gather", collectives.gather(self, value, root, nbytes),
+            nbytes, deadline, root=root,
+        )
         return result
 
-    def scatter(self, values, root: int = 0, nbytes: int = 8) -> Generator:
+    def scatter(
+        self, values, root: int = 0, nbytes: int = 8,
+        deadline: Optional[float] = None,
+    ) -> Generator:
         from repro.mpi import collectives
 
-        sp = self._coll_span("scatter", nbytes)
-        result = yield from collectives.scatter(self, values, root, nbytes)
-        self._coll_end(sp)
+        result = yield from self._run_coll(
+            "scatter", collectives.scatter(self, values, root, nbytes),
+            nbytes, deadline, root=root,
+        )
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -681,7 +681,11 @@ def bcast_time(fabric, p: int, nbytes: int) -> float:
     if nbytes <= LARGE_MESSAGE_SWITCH:
         return rounds * fabric.p2p_time(nbytes)
     alpha_part = (rounds + (p - 1) / p) * fabric.p2p_time(0)
-    bw = fabric.bandwidth() if hasattr(fabric, "params") else fabric.data_bandwidth(nbytes)
+    bw = (
+        fabric.bandwidth()
+        if hasattr(fabric, "params")
+        else fabric.data_bandwidth(nbytes)
+    )
     return alpha_part + 2.0 * (p - 1) / p * nbytes / bw
 
 
@@ -701,7 +705,11 @@ def allgather_time(fabric, p: int, nbytes: int) -> float:
     """
     if p < 2:
         return 0.0
-    bw = fabric.bandwidth() if hasattr(fabric, "params") else fabric.data_bandwidth(nbytes)
+    bw = (
+        fabric.bandwidth()
+        if hasattr(fabric, "params")
+        else fabric.data_bandwidth(nbytes)
+    )
     if nbytes <= ALLGATHER_RING_SWITCH:
         # Recursive doubling (power-of-two) / Bruck (otherwise): same cost.
         rounds = _log2_rounds(p)

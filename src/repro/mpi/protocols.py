@@ -21,7 +21,7 @@ from typing import Dict, Tuple
 
 from repro.errors import ConfigError
 from repro.core.software import SoftwareStack
-from repro.units import GB, KiB, MB, US
+from repro.units import GB, MB, US
 
 
 @dataclass(frozen=True)
@@ -82,7 +82,9 @@ class PciePathFabric:
             return self.params.scif_bandwidth
         return self.params.ccl_bandwidth
 
-    def p2p_time(self, nbytes: int, pattern: str = "neighbor", n_senders: int = 1) -> float:
+    def p2p_time(
+        self, nbytes: int, pattern: str = "neighbor", n_senders: int = 1
+    ) -> float:
         """Time for one matched transfer of ``nbytes`` on this path."""
         if nbytes < 0:
             raise ConfigError("nbytes must be non-negative")

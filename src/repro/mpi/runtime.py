@@ -126,6 +126,11 @@ class MpiJob:
     clock, crashes/window markers are armed at :meth:`launch`, and the
     analytic fast path is disabled (its closed forms assume a healthy,
     time-invariant network).
+
+    ``verifier`` arms a :class:`~repro.analyze.verifier.Verifier` on
+    every rank's communicator (vector clocks, request/collective
+    ledgers).  Verification also disables the analytic fast path so each
+    message is individually observable.
     """
 
     def __init__(
@@ -137,6 +142,7 @@ class MpiJob:
         tracer: Optional[Tracer] = None,
         fast_collectives: Optional[bool] = None,
         fault_plan: Optional[Any] = None,
+        verifier: Optional[Any] = None,
     ):
         if n_ranks < 1:
             raise ConfigError("n_ranks must be >= 1")
@@ -145,6 +151,7 @@ class MpiJob:
         self.name = name
         self.tracer = tracer
         self.fault_plan = fault_plan
+        self.verifier = verifier
         if tracer is not None:
             tracer.bind_engine(self.engine)
         if fault_plan is not None and fault_plan.link_faults:
@@ -174,6 +181,7 @@ class MpiJob:
             and uniform
             and n_ranks > 1
             and fault_plan is None
+            and verifier is None
             and not getattr(fabric, "time_varying", False)
         ):
             from repro.mpi.fastpath import FastCollectives
@@ -181,6 +189,8 @@ class MpiJob:
             self.fast = FastCollectives(fabric, n_ranks)
         self.mailboxes = [Store(name=f"{name}.mbox[{r}]") for r in range(n_ranks)]
         self._procs = []
+        if verifier is not None:
+            verifier.attach(self)
 
     def _degraded(self, fabric: Any) -> Any:
         """Apply the plan's link faults to ``fabric`` (or to each fabric a
@@ -205,6 +215,7 @@ class MpiJob:
             trace_pid=self.name,
             fast=self.fast,
             faults=self.fault_plan,
+            verifier=self.verifier,
         )
 
     def launch(self, main: RankMain) -> None:
@@ -252,11 +263,13 @@ def mpiexec(
     tracer: Optional[Tracer] = None,
     fast_collectives: Optional[bool] = None,
     fault_plan: Optional[Any] = None,
+    verifier: Optional[Any] = None,
 ) -> JobResult:
     """Launch and run ``main`` on ``n_ranks`` simulated ranks."""
     job = MpiJob(
         n_ranks, fabric, engine=engine, tracer=tracer,
         fast_collectives=fast_collectives, fault_plan=fault_plan,
+        verifier=verifier,
     )
     job.launch(main)
     return job.run()

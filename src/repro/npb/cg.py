@@ -22,7 +22,6 @@ from typing import Dict, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.errors import ConfigError
 from repro.npb.common import CG_SIZES, NpbResult, problem_class, verify_close
 from repro.npb.randdp import MOD, randlc
 

@@ -25,11 +25,10 @@ The profiles encode the paper's own explanations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional
 
 from repro.errors import ConfigError
 from repro.execmodel.kernel import KernelSpec
-from repro.npb.common import problem_class
 from repro.units import GB
 
 #: Class-C total operation counts (units of the NPB "Mop/s" accounting),

@@ -8,7 +8,7 @@ cheap) so the whole suite verifies in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import ConfigError, UnsupportedConfigurationError
 

@@ -13,7 +13,7 @@ Verification uses the official NPB class S/W/A reference sums.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

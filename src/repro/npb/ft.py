@@ -18,7 +18,6 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError
 from repro.npb.common import FT_SIZES, NpbResult, problem_class
 from repro.npb.randdp import ranlc_array
 

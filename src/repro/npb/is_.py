@@ -12,11 +12,10 @@ only in the OpenMP suite (Fig 19's IS bars).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError, VerificationError
+from repro.errors import VerificationError
 from repro.npb.common import IS_SIZES, NpbResult, problem_class
 from repro.npb.randdp import ranlc_array
 

@@ -19,7 +19,6 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigError
 from repro.npb.common import NpbResult, PSEUDO_APP_SIZES, problem_class
 from repro.npb.pseudo_pde import PdeSetup, apply_operator, step_error
 
@@ -37,7 +36,9 @@ def hyperplanes(n: int) -> List[np.ndarray]:
     return [flat[s == p] for p in range(3 * n - 2)]
 
 
-def _neighbor_flat(n: int, flat: np.ndarray, axis: int, d: int) -> Tuple[np.ndarray, np.ndarray]:
+def _neighbor_flat(
+    n: int, flat: np.ndarray, axis: int, d: int
+) -> Tuple[np.ndarray, np.ndarray]:
     """(valid_mask, neighbour_flat_index) for a ±1 shift along axis."""
     k = flat // (n * n)
     j = (flat // n) % n

@@ -73,7 +73,9 @@ def _neighbor_sums(u: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     return faces, edges, corners
 
 
-def _apply_stencil(u: np.ndarray, coeff: Tuple[float, float, float, float]) -> np.ndarray:
+def _apply_stencil(
+    u: np.ndarray, coeff: Tuple[float, float, float, float]
+) -> np.ndarray:
     c0, c1, c2, c3 = coeff
     faces, edges, corners = _neighbor_sums(u)
     out = c0 * u

@@ -16,7 +16,7 @@ latency-bound tail the real code suffers too.
 
 from __future__ import annotations
 
-from typing import Generator, List, Tuple
+from typing import Generator, Tuple
 
 import numpy as np
 
@@ -86,7 +86,9 @@ class DistributedMg:
         self.nit = nit
         self.p = p
         self.c_coeff = (
-            mg_serial.C_COEFF_SWA if problem in ("S", "W", "A") else mg_serial.C_COEFF_BC
+            mg_serial.C_COEFF_SWA
+            if problem in ("S", "W", "A")
+            else mg_serial.C_COEFF_BC
         )
 
     # ---------------------------------------------------------- plumbing

@@ -21,7 +21,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, Optional
+from typing import Callable, Generator, Optional
 
 import numpy as np
 

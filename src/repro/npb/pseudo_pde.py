@@ -23,7 +23,7 @@ runs simultaneously over every grid line, the "vectorize the loop" idiom.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -7,7 +7,7 @@ from typing import Dict, Iterable, Optional
 
 from repro.errors import ConfigError, OutOfMemoryError
 from repro.core.evaluator import Evaluator
-from repro.core.results import Measurement, ResultSet
+from repro.core.results import ResultSet
 from repro.machine.node import Device
 from repro.npb import bt, cg, ep, ft, is_, lu, mg, sp
 from repro.npb.characterization import (

@@ -53,11 +53,17 @@ def render_timeline(
     faults = [
         e for e in tracer.events if e.ph == "i" and e.cat.startswith("fault")
     ]
+    # Verifier findings (cat "verify.*", emitted by repro.analyze) overlay
+    # as '?' — the instant a race/leak/mismatch was established.
+    findings = [
+        e for e in tracer.events if e.ph == "i" and e.cat.startswith("verify")
+    ]
     t0 = min(e.ts for e in events)
     t1 = max(e.end for e in events)
-    if faults:
-        t0 = min(t0, min(e.ts for e in faults))
-        t1 = max(t1, max(e.ts for e in faults))
+    for marks in (faults, findings):
+        if marks:
+            t0 = min(t0, min(e.ts for e in marks))
+            t1 = max(t1, max(e.ts for e in marks))
     extent = t1 - t0
     if extent <= 0.0:
         extent = 1.0
@@ -89,11 +95,16 @@ def render_timeline(
         for e in faults:
             i = int((e.ts - t0) / extent * width)
             cells[max(0, min(width - 1, i))] = "!"
+        for e in findings:
+            i = int((e.ts - t0) / extent * width)
+            cells[max(0, min(width - 1, i))] = "?"
         label = f"{pid}/{tid}".ljust(label_width)
         rows.append(f"{label} |{''.join(cells)}|")
     legend = "  ".join(f"{ch} {cat}" for cat, ch in char_for.items())
     if faults:
         legend += "  ! fault"
+    if findings:
+        legend += "  ? verify"
     rows.append(f"legend: {legend}")
     return "\n".join(rows)
 

@@ -143,7 +143,10 @@ FIG11_BCAST = {
     "host_over_phi_4tpc": (20.0, 35.0),  # per-core basis in the paper
     "cart3d_message": 56 * MB,
 }
-FIG12_ALLREDUCE = {"host_over_phi_1tpc": (2.2, 13.4), "host_over_phi_4tpc": (28.0, 104.0)}
+FIG12_ALLREDUCE = {
+    "host_over_phi_1tpc": (2.2, 13.4),
+    "host_over_phi_4tpc": (28.0, 104.0),
+}
 FIG13_ALLGATHER = {
     "host_over_phi_1tpc": (2.6, 17.1),
     "host_over_phi_4tpc": (68.0, 1146.0),
@@ -287,7 +290,12 @@ FIG27_OFFLOAD_COST = {
 # --------------------------------------------------------------------------
 
 DATASETS = {
-    "DLRF6-Large": {"zones": 23, "grid_points": 35_900_000, "input_gb": 1.6, "solution_gb": 2.0},
+    "DLRF6-Large": {
+        "zones": 23,
+        "grid_points": 35_900_000,
+        "input_gb": 1.6,
+        "solution_gb": 2.0,
+    },
     "DLRF6-Medium": {"grid_points": 10_800_000},
     "OneraM6": {"grid_points": 6_000_000},
 }

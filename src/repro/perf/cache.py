@@ -72,7 +72,9 @@ def _canonical(obj: Any, out: list) -> None:
     elif callable(obj):
         # Functions/bound methods participate by identity of their code
         # location, not their closure state.
-        out.append(f"fn:{getattr(obj, '__module__', '?')}.{getattr(obj, '__qualname__', repr(obj))};")
+        module = getattr(obj, "__module__", "?")
+        qualname = getattr(obj, "__qualname__", repr(obj))
+        out.append(f"fn:{module}.{qualname};")
     else:
         # Plain objects (e.g. MaiaNode, Processor facades): class name plus
         # their attribute dict, covering both __dict__ and __slots__.

@@ -93,9 +93,8 @@ def parallel_map(
         with ProcessPoolExecutor(
             max_workers=n_workers, mp_context=_mp_context()
         ) as pool:
-            return list(
-                pool.map(fn, items, chunksize=chunksize or _chunksize(len(items), n_workers))
-            )
+            size = chunksize or _chunksize(len(items), n_workers)
+            return list(pool.map(fn, items, chunksize=size))
     except (OSError, PermissionError, NotImplementedError):
         # Hosts that forbid subprocess/semaphore creation: degrade to serial.
         return [fn(x) for x in items]

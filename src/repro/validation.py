@@ -13,8 +13,8 @@ the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
 from repro.units import GB, KiB, MiB
 
@@ -72,10 +72,23 @@ def _validate_memory(cs: ClaimSet) -> None:
 
     host = Processor(sandy_bridge_processor(), sockets=2)
     phi = Processor(xeon_phi_5110p())
-    cs.approx("Fig 4", "Phi STREAM at 59 threads (GB/s)", 180, phi.stream_bandwidth(59) / GB)
-    cs.approx("Fig 4", "Phi STREAM at 177 threads (GB/s)", 140, phi.stream_bandwidth(177) / GB)
+    cs.approx(
+        "Fig 4", "Phi STREAM at 59 threads (GB/s)", 180, phi.stream_bandwidth(59) / GB
+    )
+    cs.approx(
+        "Fig 4",
+        "Phi STREAM at 177 threads (GB/s)",
+        140,
+        phi.stream_bandwidth(177) / GB,
+    )
     cs.approx("Fig 5", "host L1 latency (ns)", 1.5, host.load_latency(16 * KiB) * 1e9)
-    cs.approx("Fig 5", "Phi memory latency (ns)", 295, phi.load_latency(1 << 30) * 1e9, rel=0.06)
+    cs.approx(
+        "Fig 5",
+        "Phi memory latency (ns)",
+        295,
+        phi.load_latency(1 << 30) * 1e9,
+        rel=0.06,
+    )
     cs.approx("Fig 6", "host per-core read bw at MEM (GB/s)", 7.5,
               host.load_bandwidth(1 << 30, "read") / GB, rel=0.06)
     cs.approx("Fig 6", "Phi per-core read bw at MEM (MB/s)", 504,
@@ -118,7 +131,7 @@ def _validate_mpi_functions(cs: ClaimSet) -> None:
             lo, hi = factor_range(bench, tpc)
             plo, phi_ = paper[key]
             cs.check(
-                f"Fig 10-14", f"{bench} factor band at {tpc} rank/core",
+                "Fig 10-14", f"{bench} factor band at {tpc} rank/core",
                 f"{plo:.3g}..{phi_:.3g}", f"{lo:.3g}..{hi:.3g}",
                 lo >= plo * 0.85 and hi <= phi_ * 1.15,
             )
@@ -144,9 +157,14 @@ def _validate_openmp(cs: ClaimSet) -> None:
     sched = fig16_data()
     for dev in ("host", "phi"):
         t = sched[dev]
-        cs.check("Fig 16", f"{dev}: STATIC < GUIDED < DYNAMIC",
-                 "ordered", "ordered" if t["STATIC"] < t["GUIDED"] < t["DYNAMIC"] else "violated",
-                 t["STATIC"] < t["GUIDED"] < t["DYNAMIC"])
+        ordered = t["STATIC"] < t["GUIDED"] < t["DYNAMIC"]
+        cs.check(
+            "Fig 16",
+            f"{dev}: STATIC < GUIDED < DYNAMIC",
+            "ordered",
+            "ordered" if ordered else "violated",
+            ordered,
+        )
 
 
 def _validate_io_offload(cs: ClaimSet) -> None:
@@ -159,7 +177,9 @@ def _validate_io_offload(cs: ClaimSet) -> None:
     cs.approx("Fig 17", "host/phi read ratio", 3.9,
               bench.plateau("host", "read") / bench.plateau("phi0", "read"), rel=0.1)
     link = maia_node().link(Device.HOST, Device.PHI0)
-    cs.approx("Fig 18", "offload plateau (GB/s)", 6.4, link.bandwidth(1 << 28) / GB, rel=0.03)
+    cs.approx(
+        "Fig 18", "offload plateau (GB/s)", 6.4, link.bandwidth(1 << 28) / GB, rel=0.03
+    )
 
 
 def _validate_npb(cs: ClaimSet) -> None:

@@ -1,0 +1,347 @@
+"""Static MPI lint: each RPA code has a trigger and a clean fixture."""
+
+import textwrap
+
+from repro.analyze import (
+    CODES,
+    check_paths,
+    check_source,
+    render_diagnostics,
+)
+
+
+def codes(src):
+    return [d.code for d in check_source(textwrap.dedent(src), "fix.py")]
+
+
+class TestRPA001Requests:
+    def test_dropped_isend_flagged(self):
+        assert "RPA001" in codes(
+            """
+            def main(comm):
+                comm.isend(1, nbytes=8)
+                yield from comm.barrier()
+            """
+        )
+
+    def test_unwaited_bound_request_flagged(self):
+        found = codes(
+            """
+            def main(comm):
+                req = comm.isend(1, nbytes=8)
+                yield from comm.barrier()
+            """
+        )
+        assert "RPA001" in found
+
+    def test_waited_request_clean(self):
+        assert codes(
+            """
+            def main(comm):
+                req = comm.isend(1, nbytes=8)
+                yield from req.wait()
+            """
+        ) == []
+
+    def test_request_collected_into_list_clean(self):
+        # Appending the handle counts as consumption (waited elsewhere).
+        assert codes(
+            """
+            def main(comm):
+                reqs = []
+                for peer in range(comm.size):
+                    r = comm.isend(peer, nbytes=8)
+                    reqs.append(r)
+                for r in reqs:
+                    yield from r.wait()
+            """
+        ) == []
+
+    def test_cancelled_request_clean(self):
+        assert codes(
+            """
+            def main(comm):
+                req = comm.irecv(source=1)
+                req.cancel()
+                yield from comm.barrier()
+            """
+        ) == []
+
+
+class TestRPA002CollectiveDivergence:
+    def test_collective_in_one_branch_flagged(self):
+        assert "RPA002" in codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.bcast(1)
+                else:
+                    yield from comm.compute(1e-6)
+            """
+        )
+
+    def test_different_kind_flagged(self):
+        assert "RPA002" in codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.bcast(1)
+                else:
+                    yield from comm.allreduce(1)
+            """
+        )
+
+    def test_different_root_flagged(self):
+        assert "RPA002" in codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.bcast(1, root=0)
+                else:
+                    yield from comm.bcast(1, root=1)
+            """
+        )
+
+    def test_same_sequence_clean(self):
+        assert codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.bcast(41)
+                    yield from comm.allreduce(1)
+                else:
+                    yield from comm.bcast(None)
+                    yield from comm.allreduce(2)
+            """
+        ) == []
+
+    def test_no_collectives_in_branches_clean(self):
+        assert codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.send(1, nbytes=8)
+                else:
+                    yield from comm.recv(source=0)
+                yield from comm.allreduce(1)
+            """
+        ) == []
+
+
+class TestRPA003SendMatching:
+    def test_tag_mismatch_flagged(self):
+        assert "RPA003" in codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.send(1, nbytes=8, tag=5)
+                else:
+                    env = yield from comm.recv(source=0, tag=6)
+            """
+        )
+
+    def test_matching_tags_clean(self):
+        assert codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.send(1, nbytes=8, tag=5)
+                else:
+                    env = yield from comm.recv(source=0, tag=5)
+            """
+        ) == []
+
+    def test_wildcard_recv_matches_any_send(self):
+        assert codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.send(1, nbytes=8, tag=42)
+                else:
+                    env = yield from comm.recv()
+            """
+        ) == []
+
+    def test_dynamic_tag_not_flagged(self):
+        # Non-literal tags are out of scope: stay silent.
+        assert codes(
+            """
+            def main(comm, tag):
+                if comm.rank == 0:
+                    yield from comm.send(1, nbytes=8, tag=tag)
+                else:
+                    env = yield from comm.recv(source=0, tag=tag)
+            """
+        ) == []
+
+
+class TestRPA004LoopBounds:
+    def test_bound_mismatch_flagged(self):
+        assert "RPA004" in codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    for i in range(4):
+                        yield from comm.send(1, nbytes=8, tag=9)
+                else:
+                    for i in range(3):
+                        env = yield from comm.recv(source=0, tag=9)
+            """
+        )
+
+    def test_equal_bounds_clean(self):
+        assert codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    for i in range(4):
+                        yield from comm.send(1, nbytes=8, tag=9)
+                else:
+                    for i in range(4):
+                        env = yield from comm.recv(source=0, tag=9)
+            """
+        ) == []
+
+    def test_dynamic_bound_not_flagged(self):
+        assert codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    for i in range(comm.size):
+                        yield from comm.send(1, nbytes=8, tag=9)
+                else:
+                    for i in range(3):
+                        env = yield from comm.recv(source=0, tag=9)
+            """
+        ) == []
+
+
+class TestRPA005SendCycles:
+    def test_send_send_cycle_flagged(self):
+        assert "RPA005" in codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.send(1, nbytes=8 << 20)
+                    env = yield from comm.recv(source=1)
+                elif comm.rank == 1:
+                    yield from comm.send(0, nbytes=8 << 20)
+                    env = yield from comm.recv(source=0)
+            """
+        )
+
+    def test_recv_first_breaks_cycle(self):
+        assert codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    yield from comm.send(1, nbytes=8 << 20)
+                    env = yield from comm.recv(source=1)
+                elif comm.rank == 1:
+                    env = yield from comm.recv(source=0)
+                    yield from comm.send(0, nbytes=8 << 20)
+            """
+        ) == []
+
+    def test_sendrecv_is_cycle_safe(self):
+        assert codes(
+            """
+            def main(comm):
+                if comm.rank == 0:
+                    env = yield from comm.sendrecv(1, 1, nbytes=8 << 20)
+                elif comm.rank == 1:
+                    env = yield from comm.sendrecv(0, 0, nbytes=8 << 20)
+            """
+        ) == []
+
+
+class TestRPA006YieldFrom:
+    def test_undriven_recv_flagged(self):
+        assert "RPA006" in codes(
+            """
+            def main(comm):
+                comm.recv(source=0)
+                yield from comm.barrier()
+            """
+        )
+
+    def test_plain_yield_flagged(self):
+        assert "RPA006" in codes(
+            """
+            def main(comm):
+                yield comm.send(1, nbytes=8)
+            """
+        )
+
+    def test_yield_from_isend_flagged(self):
+        assert "RPA006" in codes(
+            """
+            def main(comm):
+                req = yield from comm.isend(1, nbytes=8)
+            """
+        )
+
+    def test_unyielded_wait_flagged(self):
+        found = codes(
+            """
+            def main(comm):
+                req = comm.isend(1, nbytes=8)
+                req.wait()
+            """
+        )
+        assert "RPA006" in found
+
+    def test_proper_idioms_clean(self):
+        assert codes(
+            """
+            def main(comm):
+                req = comm.isend(1, nbytes=8)
+                env = yield from comm.recv(source=1)
+                yield from req.wait()
+                total = yield from comm.allreduce(env.nbytes)
+                return total
+            """
+        ) == []
+
+
+class TestHarness:
+    def test_five_plus_distinct_patterns_documented(self):
+        assert len(CODES) >= 5
+        assert all(code.startswith("RPA") for code in CODES)
+
+    def test_zero_false_positives_on_shipped_rank_programs(self):
+        diags = check_paths(["examples", "src/repro/npb"])
+        assert diags == [], render_diagnostics(diags)
+
+    def test_non_mpi_code_ignored(self):
+        assert codes(
+            """
+            def helper(x):
+                return x + 1
+
+            def gen():
+                yield 1
+            """
+        ) == []
+
+    def test_self_comm_attribute_recognized(self):
+        assert "RPA001" in codes(
+            """
+            class Solver:
+                def step(self):
+                    self.comm.isend(1, nbytes=8)
+                    yield from self.comm.barrier()
+            """
+        )
+
+    def test_render_and_locations(self):
+        diags = check_source(
+            "def main(comm):\n    comm.isend(1, nbytes=8)\n    yield from comm.barrier()\n",
+            "prog.py",
+        )
+        assert len(diags) == 1
+        d = diags[0]
+        assert d.code == "RPA001"
+        assert d.location == "prog.py:2"
+        assert "hint:" in d.render()
+        assert "1 diagnostic(s)" in render_diagnostics(diags)

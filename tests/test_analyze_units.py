@@ -1,0 +1,107 @@
+"""Units lint: mixed-category arithmetic in the model layers."""
+
+import textwrap
+
+from repro.analyze import check_units_paths, check_units_source
+
+
+def codes(src):
+    return [d.code for d in check_units_source(textwrap.dedent(src), "fix.py")]
+
+
+class TestMixedArithmetic:
+    def test_time_plus_data_flagged(self):
+        assert codes(
+            """
+            from repro.units import MiB, SEC
+            x = 4 * MiB + 2 * SEC
+            """
+        ) == ["RPA101"]
+
+    def test_frequency_minus_time_flagged(self):
+        assert codes(
+            """
+            from repro.units import GHZ, US
+            x = 2 * GHZ - 3 * US
+            """
+        ) == ["RPA101"]
+
+    def test_same_category_clean(self):
+        assert codes(
+            """
+            from repro.units import KiB, MiB, MS, US
+            size = 4 * MiB + 512 * KiB
+            t = 2 * MS - 50 * US
+            """
+        ) == []
+
+    def test_module_attribute_access_tracked(self):
+        assert codes(
+            """
+            from repro import units
+            x = 4 * units.MiB + 2 * units.SEC
+            """
+        ) == ["RPA101"]
+
+    def test_dimensionless_offset_clean(self):
+        # Unit constants are plain scale factors; adding a raw number is
+        # idiomatic here (e.g. bytes + alignment slack), not a bug.
+        assert codes(
+            """
+            from repro.units import MiB
+            x = 4 * MiB + 512
+            """
+        ) == []
+
+
+class TestMixedComparison:
+    def test_cross_category_compare_flagged(self):
+        assert codes(
+            """
+            from repro.units import GHZ, SEC
+            flag = (2 * GHZ) > (1 * SEC)
+            """
+        ) == ["RPA102"]
+
+    def test_same_category_compare_clean(self):
+        assert codes(
+            """
+            from repro.units import GB, MB
+            flag = (2 * GB) > (512 * MB)
+            """
+        ) == []
+
+    def test_ratio_is_dimensionless(self):
+        # data/data cancels; comparing the ratio to a number is fine.
+        assert codes(
+            """
+            from repro.units import GiB, MiB
+            frac = (512 * MiB) / (8 * GiB)
+            ok = frac < 1.0
+            """
+        ) == []
+
+    def test_rate_expression_unknowable_not_flagged(self):
+        # data/time is a compound (a rate) the pass does not model: it
+        # must stay silent rather than guess.
+        assert codes(
+            """
+            from repro.units import GB, MiB, SEC
+            rate = (8 * MiB) / (2 * SEC)
+            flag = rate > GB
+            """
+        ) == []
+
+
+class TestRepoStaysClean:
+    def test_model_layers_have_no_mixed_arithmetic(self):
+        diags = check_units_paths(["src/repro/machine", "src/repro/execmodel"])
+        assert diags == [], [d.render() for d in diags]
+
+    def test_modules_without_units_imports_skipped(self):
+        assert codes(
+            """
+            SEC = "not the units constant"
+            x = SEC + 3
+            """
+        ) == []

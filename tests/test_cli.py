@@ -51,3 +51,64 @@ class TestCli:
     def test_no_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCheck:
+    def test_static_on_shipped_programs_clean(self, capsys):
+        rc, out = run_cli(capsys, "check", "examples", "src/repro/npb")
+        assert rc == 0
+        assert "no diagnostics" in out
+
+    def test_static_flags_bad_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def main(comm):\n"
+            "    comm.isend(1, nbytes=8)\n"
+            "    yield from comm.barrier()\n"
+        )
+        rc, out = run_cli(capsys, "check", str(bad))
+        assert rc == 1
+        assert "RPA001" in out and "hint:" in out
+
+    def test_baseline_accepts_known_diagnostics(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def main(comm):\n"
+            "    comm.isend(1, nbytes=8)\n"
+            "    yield from comm.barrier()\n"
+        )
+        report = tmp_path / "report.json"
+        rc, _ = run_cli(capsys, "check", str(bad), "--json", str(report))
+        assert rc == 1
+        rc, out = run_cli(capsys, "check", str(bad), "--baseline", str(report))
+        assert rc == 0
+        assert "no diagnostics" in out
+
+    def test_units_mode(self, capsys, tmp_path):
+        mixed = tmp_path / "mixed.py"
+        mixed.write_text(
+            "from repro.units import MiB, SEC\nx = 4 * MiB + 2 * SEC\n"
+        )
+        rc, out = run_cli(capsys, "check", str(mixed), "--units")
+        assert rc == 1
+        assert "RPA101" in out
+
+    def test_dynamic_clean_experiment(self, capsys):
+        rc, out = run_cli(capsys, "check", "allreduce", "--dynamic", "--ranks", "4")
+        assert rc == 0
+        assert "CLEAN" in out
+
+    def test_dynamic_race_demo_flagged(self, capsys):
+        rc, out = run_cli(capsys, "check", "race", "--ranks", "4")
+        assert rc == 1
+        assert "wildcard-race" in out
+
+    def test_dynamic_leak_demo_flagged(self, capsys):
+        rc, out = run_cli(capsys, "check", "leak", "--ranks", "2")
+        assert rc == 1
+        assert "leaked-request" in out
+
+    def test_unknown_target_rejected(self, capsys):
+        rc, out = run_cli(capsys, "check", "no-such-thing")
+        assert rc == 2
+        assert "unknown target" in out

@@ -1,0 +1,64 @@
+"""Wildcard matching semantics of ``repro.mpi.messages``."""
+
+import pytest
+
+from repro.mpi.messages import ANY_SOURCE, ANY_TAG, Envelope, match_filter
+
+
+def env(source=0, tag=0):
+    return Envelope(source=source, dest=1, tag=tag, nbytes=8, post_time=0.0)
+
+
+class TestMatchFilter:
+    def test_full_wildcard_returns_none_for_store_fast_path(self):
+        assert match_filter(ANY_SOURCE, ANY_TAG) is None
+        assert match_filter(None, None) is None
+
+    @pytest.mark.parametrize(
+        "source,tag,envelope,matches",
+        [
+            # explicit source, wildcard tag
+            (2, ANY_TAG, dict(source=2, tag=0), True),
+            (2, ANY_TAG, dict(source=2, tag=99), True),
+            (2, ANY_TAG, dict(source=3, tag=0), False),
+            # wildcard source, explicit tag
+            (ANY_SOURCE, 7, dict(source=0, tag=7), True),
+            (ANY_SOURCE, 7, dict(source=5, tag=7), True),
+            (ANY_SOURCE, 7, dict(source=5, tag=8), False),
+            # both explicit
+            (2, 7, dict(source=2, tag=7), True),
+            (2, 7, dict(source=2, tag=8), False),
+            (2, 7, dict(source=3, tag=7), False),
+            (2, 7, dict(source=3, tag=8), False),
+        ],
+    )
+    def test_combinations(self, source, tag, envelope, matches):
+        flt = match_filter(source, tag)
+        assert flt is not None
+        assert flt(env(**envelope)) is matches
+
+    def test_negative_internal_tags_match_exactly(self):
+        # Collectives use negative tags (-1000.., -2000..); the filter
+        # must treat them as ordinary literals, not wildcards.
+        flt = match_filter(ANY_SOURCE, -2000)
+        assert flt(env(tag=-2000))
+        assert not flt(env(tag=-2001))
+        assert not flt(env(tag=0))
+
+    def test_filter_closes_over_arguments(self):
+        flt_a = match_filter(1, ANY_TAG)
+        flt_b = match_filter(2, ANY_TAG)
+        assert flt_a(env(source=1)) and not flt_a(env(source=2))
+        assert flt_b(env(source=2)) and not flt_b(env(source=1))
+
+
+class TestEnvelope:
+    def test_each_envelope_gets_its_own_done_event(self):
+        a, b = env(), env()
+        assert a.done is not b.done
+        a.done.succeed(1.0)
+        assert not b.done.triggered
+
+    def test_repr_names_route_and_tag(self):
+        text = repr(env(source=3, tag=9))
+        assert "3->1" in text and "tag=9" in text
