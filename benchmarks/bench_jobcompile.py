@@ -1,0 +1,291 @@
+"""Whole-job compilation benchmark: stepped vs max-plus replay vs memo.
+
+Times the same static jobs through the three execution paths of
+:mod:`repro.mpi.compile`:
+
+* **stepped** — the full discrete-event run (``fast_collectives=False``)
+  on its own engine, recording how many events it stepped;
+* **replay** — the cold max-plus replay (no events stepped at all);
+* **memo** — a warm :class:`~repro.perf.cache.EvalCache` hit (no events,
+  no replay: an O(1) dictionary lookup).
+
+Campaigns:
+
+* a CG-style halo job (two ring sendrecvs + barrier per iteration) at
+  P ∈ {64, 1024, 16384} (quick: {64, 256}), gating the headline claim:
+  at P=16384 the replay agrees with the stepped engine to 1e-9 while
+  running ≥ 20x faster;
+* the NPB EP and CG solvers at P ∈ {4, 8} with official verification,
+  gating bit-identical returns and warm memo hits.
+
+Writes ``BENCH_jobcompile.json`` so CI can gate regressions::
+
+    PYTHONPATH=src python benchmarks/bench_jobcompile.py
+    PYTHONPATH=src python benchmarks/bench_jobcompile.py --quick
+
+Under pytest it runs the quick campaign as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from functools import partial
+from typing import Any, Dict, List, Optional
+
+HALO_RANKS = (64, 1024, 16384)
+HALO_RANKS_QUICK = (64, 256)
+HALO_NBYTES = 4096
+HALO_ITERS = 2
+NPB_RANKS = (4, 8)
+TOL = 1e-9
+
+
+def _halo_main(nbytes, iters, comm):
+    """The CG/MG iteration skeleton the compiler targets: halo
+    exchange, local compute, then a synchronizing collective."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    acc = 0.0
+    for _ in range(iters):
+        yield from comm.sendrecv(right, left, nbytes=nbytes)
+        yield from comm.sendrecv(left, right, nbytes=nbytes)
+        yield from comm.compute(1e-7)
+        acc = yield from comm.allreduce(acc + comm.rank, nbytes=8)
+    yield from comm.barrier()
+    return acc
+
+
+def _same(a: Any, b: Any) -> bool:
+    """Recursive equality that tolerates numpy arrays inside returns."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_same(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_same(x, y) for x, y in zip(a, b))
+    if hasattr(a, "dtype") and hasattr(a, "tobytes"):
+        return (
+            hasattr(b, "dtype")
+            and a.dtype == b.dtype
+            and a.shape == b.shape
+            and a.tobytes() == b.tobytes()
+        )
+    return type(a) is type(b) and a == b
+
+
+def _halo_point(p: int) -> Dict[str, Any]:
+    from repro.mpi.compile import CompileStats, compiled_mpiexec
+    from repro.mpi.fabrics import phi_fabric
+    from repro.mpi.runtime import MpiJob
+    from repro.perf.cache import EvalCache
+    from repro.simcore import Engine
+
+    fabric = phi_fabric(2)
+    main = partial(_halo_main, HALO_NBYTES, HALO_ITERS)
+
+    engine = Engine()
+    job = MpiJob(p, fabric, engine=engine, fast_collectives=False)
+    job.launch(main)
+    t0 = time.perf_counter()
+    stepped = job.run()
+    stepped_wall = time.perf_counter() - t0
+
+    cache = EvalCache()
+    point: Dict[str, Any] = {
+        "ranks": p,
+        "nbytes": HALO_NBYTES,
+        "iters": HALO_ITERS,
+        "stepped": {
+            "wall": stepped_wall,
+            "elapsed": stepped.elapsed,
+            "engine_steps": engine.timeline(),
+        },
+    }
+    for label in ("replay", "memo"):
+        st = CompileStats()
+        t0 = time.perf_counter()
+        res = compiled_mpiexec(p, fabric, main, cache=cache, stats=st)
+        wall = time.perf_counter() - t0
+        point[label] = {
+            "wall": wall,
+            "elapsed": res.elapsed,
+            "engine_steps": st.engine_steps,
+            "path": st.path,
+            "rel_err": abs(res.elapsed - stepped.elapsed) / stepped.elapsed,
+            "identical_returns": _same(res.returns, stepped.returns),
+            "speedup": stepped_wall / max(wall, 1e-12),
+        }
+    return point
+
+
+def _npb_point(bench: str, p: int) -> Dict[str, Any]:
+    from repro.mpi.compile import CompileStats
+    from repro.mpi.fabrics import host_fabric
+    from repro.npb.mpi_versions import run_cg_mpi, run_ep_mpi
+    from repro.perf.cache import EvalCache
+
+    runner = run_ep_mpi if bench == "ep" else run_cg_mpi
+    t0 = time.perf_counter()
+    stepped = runner(p, host_fabric())
+    stepped_wall = time.perf_counter() - t0
+
+    cache = EvalCache()
+    point: Dict[str, Any] = {
+        "bench": bench,
+        "ranks": p,
+        "stepped": {"wall": stepped_wall, "elapsed": stepped.elapsed},
+    }
+    for label in ("replay", "memo"):
+        st = CompileStats()
+        t0 = time.perf_counter()
+        res = runner(p, host_fabric(), compiled=True, cache=cache, stats=st)
+        wall = time.perf_counter() - t0
+        point[label] = {
+            "wall": wall,
+            "elapsed": res.elapsed,
+            "engine_steps": st.engine_steps,
+            "path": st.path,
+            "rel_err": abs(res.elapsed - stepped.elapsed) / stepped.elapsed,
+            "identical_returns": _same(res.returns, stepped.returns),
+        }
+    return point
+
+
+def run_jobcompile(
+    quick: bool = False, output: Optional[str] = "BENCH_jobcompile.json"
+) -> Dict[str, Any]:
+    """Run both campaigns and (optionally) write the JSON report."""
+    report: Dict[str, Any] = {
+        "name": "jobcompile",
+        "quick": quick,
+        "halo": {
+            "points": [
+                _halo_point(p)
+                for p in (HALO_RANKS_QUICK if quick else HALO_RANKS)
+            ]
+        },
+    }
+    try:
+        import numpy  # noqa: F401
+
+        have_numpy = True
+    except ImportError:  # pragma: no cover - the no-numpy CI leg
+        have_numpy = False
+    if have_numpy:
+        report["npb"] = {
+            "points": [
+                _npb_point(bench, p)
+                for bench in ("ep", "cg")
+                for p in NPB_RANKS
+            ]
+        }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    return report
+
+
+def check_report(report: Dict[str, Any]) -> List[str]:
+    """The regression gates; returns a list of violations (empty = pass)."""
+    bad: List[str] = []
+    for pt in report["halo"]["points"]:
+        tag = f"halo P={pt['ranks']}"
+        if pt["stepped"]["engine_steps"] <= 0:
+            bad.append(f"{tag}: stepped run stepped no events")
+        for label in ("replay", "memo"):
+            r = pt[label]
+            if r["path"] != label:
+                bad.append(f"{tag}: {label} ran via {r['path']!r} "
+                           f"({r.get('rel_err')})")
+            if r["rel_err"] > TOL:
+                bad.append(f"{tag}: {label} rel_err {r['rel_err']:.2e}")
+            if not r["identical_returns"]:
+                bad.append(f"{tag}: {label} returns differ")
+            if r["engine_steps"] != 0:
+                bad.append(f"{tag}: {label} stepped {r['engine_steps']} events")
+        if pt["ranks"] >= 16384 and pt["replay"]["speedup"] < 20.0:
+            bad.append(
+                f"{tag}: replay speedup {pt['replay']['speedup']:.1f}x < 20x"
+            )
+    for pt in report.get("npb", {}).get("points", ()):
+        tag = f"npb {pt['bench']} P={pt['ranks']}"
+        for label in ("replay", "memo"):
+            r = pt[label]
+            if r["path"] != label:
+                bad.append(f"{tag}: {label} ran via {r['path']!r}")
+            if r["rel_err"] > TOL:
+                bad.append(f"{tag}: {label} rel_err {r['rel_err']:.2e}")
+            if not r["identical_returns"]:
+                bad.append(f"{tag}: {label} returns differ")
+            if r["engine_steps"] != 0:
+                bad.append(f"{tag}: {label} stepped {r['engine_steps']} events")
+    return bad
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    lines = ["jobcompile: stepped vs replay vs memo", ""]
+    lines.append(f"{'point':>16} {'path':>7} {'wall (s)':>9} "
+                 f"{'elapsed (s)':>12} {'steps':>7} {'rel err':>8}")
+    for pt in report["halo"]["points"]:
+        tag = f"halo P={pt['ranks']}"
+        s = pt["stepped"]
+        lines.append(f"{tag:>16} {'stepped':>7} {s['wall']:>9.3f} "
+                     f"{s['elapsed']:>12.4e} {s['engine_steps']:>7} {'-':>8}")
+        for label in ("replay", "memo"):
+            r = pt[label]
+            lines.append(
+                f"{'':>16} {label:>7} {r['wall']:>9.3f} "
+                f"{r['elapsed']:>12.4e} {r['engine_steps']:>7} "
+                f"{r['rel_err']:>8.1e}"
+            )
+        lines.append(f"{'':>16} replay speedup: "
+                     f"{pt['replay']['speedup']:.1f}x")
+    for pt in report.get("npb", {}).get("points", ()):
+        tag = f"npb-{pt['bench']} P={pt['ranks']}"
+        for label in ("replay", "memo"):
+            r = pt[label]
+            lines.append(
+                f"{tag:>16} {label:>7} {r['wall']:>9.3f} "
+                f"{r['elapsed']:>12.4e} {r['engine_steps']:>7} "
+                f"{r['rel_err']:>8.1e}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark whole-job compilation vs the stepped engine."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small rank counts (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output", "--out", dest="output",
+        default="BENCH_jobcompile.json", metavar="PATH",
+        help="JSON report path ('-' to skip writing)",
+    )
+    args = parser.parse_args(argv)
+    output = None if args.output == "-" else args.output
+    report = run_jobcompile(quick=args.quick, output=output)
+    print(render_report(report))
+    if output:
+        print(f"\nreport written to {output}")
+    bad = check_report(report)
+    for line in bad:
+        print(f"GATE FAILED: {line}")
+    return 1 if bad else 0
+
+
+def test_jobcompile_quick(tmp_path):
+    """Smoke: quick campaign passes every gate, report is well-formed."""
+    out = tmp_path / "BENCH_jobcompile.json"
+    report = run_jobcompile(quick=True, output=str(out))
+    assert out.exists()
+    assert check_report(report) == []
+    assert report["halo"]["points"][0]["memo"]["path"] == "memo"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -37,9 +37,11 @@ Command line: ``python -m repro check <file|dir>`` (static),
 from repro.analyze.staticcheck import (
     CODES,
     Diagnostic,
+    RankProgramProfile,
     check_file,
     check_paths,
     check_source,
+    rank_program_profile,
     render_diagnostics,
 )
 from repro.analyze.unitscheck import check_units_paths, check_units_source
@@ -54,6 +56,7 @@ __all__ = [
     "CODES",
     "Diagnostic",
     "Issue",
+    "RankProgramProfile",
     "Verifier",
     "VerifyReport",
     "check_file",
@@ -61,6 +64,7 @@ __all__ = [
     "check_source",
     "check_units_paths",
     "check_units_source",
+    "rank_program_profile",
     "render_diagnostics",
     "verify_mpiexec",
 ]

@@ -27,8 +27,11 @@ kernels.
 from __future__ import annotations
 
 import ast
+import functools
+import inspect
 import os
-from dataclasses import dataclass
+import textwrap
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 #: Diagnostic codes and their one-line summaries (see docs/ANALYSIS.md).
@@ -716,3 +719,92 @@ def render_diagnostics(diags: Sequence[Diagnostic]) -> str:
     blocks = [d.render() for d in diags]
     blocks.append(f"{len(diags)} diagnostic(s)")
     return "\n".join(blocks)
+
+
+# ==========================================================================
+# Rank-program profiles (the whole-job compiler's recognition pre-filter)
+# ==========================================================================
+
+
+@dataclass(frozen=True)
+class RankProgramProfile:
+    """Static summary of one rank program's communication vocabulary.
+
+    Produced by :func:`rank_program_profile` for
+    :func:`repro.mpi.compile.compiled_mpiexec`, which uses it as an
+    *advisory* pre-filter: a profile naming a veto lets the compiler skip
+    a doomed replay attempt cheaply, while ``unknown`` profiles (source
+    not retrievable — a lambda, a C callable) are simply attempted.  The
+    replayer's dynamic guards stay authoritative either way, because MPI
+    traffic hidden in helper functions is invisible to this purely
+    structural view.
+    """
+
+    methods: frozenset = field(default_factory=frozenset)
+    wildcard_recv: bool = False
+    uses_irecv: bool = False
+    uses_timeouts: bool = False
+    unknown: bool = False
+
+    def veto_reasons(self) -> List[str]:
+        """Statically visible reasons the max-plus replay cannot apply."""
+        reasons: List[str] = []
+        if self.wildcard_recv:
+            reasons.append("wildcard-source recv")
+        if self.uses_irecv:
+            reasons.append("irecv")
+        if self.uses_timeouts:
+            reasons.append("timeout/deadline-bounded operation")
+        for m in sorted(self.methods & {"gather", "scatter"}):
+            reasons.append(f"unscheduled collective {m!r}")
+        return reasons
+
+
+def _timeout_kwarg(call: ast.Call, name: str) -> bool:
+    """Is keyword ``name`` present with a value other than literal None?"""
+    node = _call_arg(call, name)
+    return node is not None and not (
+        isinstance(node, ast.Constant) and node.value is None
+    )
+
+
+def rank_program_profile(main) -> RankProgramProfile:
+    """Statically profile the MPI calls of rank program ``main``.
+
+    ``functools.partial`` wrappers and bound methods are unwrapped to the
+    underlying function before its source is parsed.
+    """
+    fn = main
+    while isinstance(fn, functools.partial):
+        fn = fn.func
+    fn = getattr(fn, "__func__", fn)
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, ValueError, SyntaxError, IndentationError):
+        return RankProgramProfile(unknown=True)
+    methods = set()
+    wildcard = irecv = timeouts = False
+    for node in ast.walk(tree):
+        method = _mpi_call(node)
+        if method is None:
+            continue
+        assert isinstance(node, ast.Call)
+        methods.add(method)
+        if method == "irecv":
+            irecv = True
+        elif method == "recv":
+            # Omitted / None / ANY_SOURCE is a wildcard; a *dynamic*
+            # source expression (a computed partner) is not.
+            if _peer_or_tag(node, "source", 0, _WILD) is _WILD:
+                wildcard = True
+        if method in ("send", "recv") and _timeout_kwarg(node, "timeout"):
+            timeouts = True
+        if method in COLLECTIVES and _timeout_kwarg(node, "deadline"):
+            timeouts = True
+    return RankProgramProfile(
+        methods=frozenset(methods),
+        wildcard_recv=wildcard,
+        uses_irecv=irecv,
+        uses_timeouts=timeouts,
+    )

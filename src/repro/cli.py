@@ -13,6 +13,8 @@ Commands
 ``check``             MPI correctness: static lint of rank programs
                       (``repro check examples``) or dynamic verification
                       (``repro check allreduce --dynamic``).
+``compile``           Whole-job compilation: stepped vs max-plus replay vs
+                      warm memoization (``repro compile halo --ranks 1024``).
 
 The heavy per-figure assertions live in ``benchmarks/``; the CLI renders
 the same data for interactive exploration.
@@ -768,6 +770,91 @@ def _cmd_check(args) -> int:
     return 1 if failures else 0
 
 
+#: Experiments the ``compile`` command can replay (halo + Fig 10-13
+#: collectives + the CG solver; all recognized static patterns).
+COMPILE_EXPERIMENTS = (
+    "allreduce",
+    "bcast",
+    "allgather",
+    "alltoall",
+    "halo",
+    "cg",
+)
+
+
+def _cmd_compile(args) -> int:
+    import time
+
+    from repro.mpi.compile import CompileStats, compiled_mpiexec
+    from repro.mpi.fabrics import host_fabric, phi_fabric
+    from repro.mpi.runtime import MpiJob
+    from repro.perf.cache import EvalCache
+    from repro.simcore import Engine
+
+    fabric = host_fabric() if args.fabric == "host" else phi_fabric(args.tpc)
+    if args.experiment == "cg":
+        from repro.errors import ConfigError
+        from repro.npb import cg as cg_serial
+        from repro.npb.mpi_versions import cg_mpi
+
+        if args.ranks & (args.ranks - 1):
+            raise ConfigError("CG requires a power-of-two rank count")
+        main = partial(cg_mpi, problem="S", matrix=cg_serial.make_matrix("S"))
+    else:
+        main = _trace_main(args.experiment, args.nbytes)
+
+    engine = Engine()
+    job = MpiJob(args.ranks, fabric, engine=engine, fast_collectives=False)
+    job.launch(main)
+    t0 = time.perf_counter()
+    stepped = job.run()
+    stepped_wall = time.perf_counter() - t0
+    rows = [
+        (
+            "stepped",
+            f"{stepped.elapsed:.6e}",
+            f"{stepped_wall:.3f}",
+            str(engine.timeline()),
+            "-",
+        )
+    ]
+
+    cache = EvalCache()
+    ok = True
+    last_wall = stepped_wall
+    for label in ("replay (cold)", "memo (warm)"):
+        st = CompileStats()
+        t0 = time.perf_counter()
+        res = compiled_mpiexec(args.ranks, fabric, main, cache=cache, stats=st)
+        wall = time.perf_counter() - t0
+        last_wall = wall
+        rel = abs(res.elapsed - stepped.elapsed) / stepped.elapsed
+        ok = ok and rel <= 1e-9 and st.path in ("replay", "memo")
+        rows.append(
+            (
+                f"{label} [{st.path or 'stepped'}]",
+                f"{res.elapsed:.6e}",
+                f"{wall:.3f}",
+                str(st.engine_steps),
+                f"{rel:.1e}",
+            )
+        )
+        if st.path == "stepped":
+            _print(f"fell back to stepped engine: {st.reason}")
+    _print(
+        render_table(
+            ("path", "elapsed (s)", "wall (s)", "engine steps", "rel err"),
+            rows,
+            title=(
+                f"{args.experiment}, {args.ranks} ranks, {args.fabric} fabric"
+            ),
+        )
+    )
+    speedup = stepped_wall / max(last_wall, 1e-9)
+    _print(f"warm-memo wall speedup vs stepped: {speedup:.1f}x")
+    return 0 if ok else 1
+
+
 # --------------------------------------------------------------------------
 # entry point
 # --------------------------------------------------------------------------
@@ -891,6 +978,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_check.add_argument(
         "--json", default=None, metavar="PATH", help="write a JSON report"
     )
+    p_compile = sub.add_parser(
+        "compile",
+        help="compare stepped vs compiled (max-plus replay + memo) runs",
+    )
+    p_compile.add_argument("experiment", choices=COMPILE_EXPERIMENTS)
+    p_compile.add_argument(
+        "--ranks", type=int, default=64, help="MPI ranks (default 64)"
+    )
+    p_compile.add_argument(
+        "--nbytes", type=int, default=1024, help="message size (default 1024)"
+    )
+    p_compile.add_argument("--fabric", default="host", choices=("host", "phi"))
+    p_compile.add_argument(
+        "--tpc", type=int, default=3, choices=(1, 2, 3, 4),
+        help="threads/core for the phi fabric",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "table1":
@@ -931,6 +1034,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
     return 2  # pragma: no cover
 
 

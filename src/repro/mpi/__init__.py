@@ -33,16 +33,19 @@ from repro.mpi.fabrics import (
 )
 from repro.mpi.protocols import PciePathFabric, pcie_fabric
 from repro.mpi.runtime import MpiJob, mpiexec
+from repro.mpi.compile import CompileStats, compiled_mpiexec
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Communicator",
+    "CompileStats",
     "Fabric",
     "FabricParams",
     "MpiJob",
     "PciePathFabric",
     "Request",
+    "compiled_mpiexec",
     "allgather_time",
     "allreduce_time",
     "alltoall_memory_required",

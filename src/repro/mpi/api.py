@@ -431,6 +431,9 @@ class Communicator:
         """Dissemination barrier: ⌈log2 p⌉ rounds of zero-byte exchanges."""
         if self.size == 1:
             return
+        if deadline is None and self._use_fast():
+            yield from self._fast_collective("barrier", None, 0)
+            return
         yield from self._run_coll("barrier", self._barrier_body(), 0, deadline)
 
     def _barrier_body(self) -> Generator:
@@ -578,6 +581,10 @@ class Communicator:
     ) -> Generator:
         from repro.mpi import collectives
 
+        if deadline is None and self._use_fast():
+            self._check_peer(root)
+            return (yield from self._fast_collective("reduce", value, nbytes,
+                                                     root=root, op=op))
         result = yield from self._run_coll(
             "reduce", collectives.reduce(self, value, op, root, nbytes),
             nbytes, deadline, root=root,

@@ -651,12 +651,101 @@ def alltoall_schedule(
     return t
 
 
+def reduce_schedule(
+    fabric,
+    p: int,
+    nbytes: int,
+    root: int = 0,
+    arrivals: Optional[List[float]] = None,
+) -> List[float]:
+    """Per-rank completion times of :func:`reduce` on a uniform fabric.
+
+    The binomial tree is walked children-first (descending vrank), so a
+    parent's clock folds in each child's send post time exactly as the
+    generator's sequential recv/compute loop does.
+    """
+    t = _arrivals(p, arrivals)
+    if p == 1:
+        return t
+    tp, ts, eager = _wire(fabric, nbytes)
+    tred = fabric.reduce_time(nbytes)
+    finish = [0.0] * p
+    send_post = [0.0] * p  # by vrank: when a child posts its upward send
+    for v in range(p - 1, -1, -1):  # children (higher vrank) before parents
+        rank = (v + root) % p
+        clock = t[rank]
+        mask = 1
+        while mask < p and not (v & mask):
+            c = v + mask
+            if c < p:
+                sp = send_post[c]
+                if eager:
+                    recv_done = max(clock, sp + tp)
+                else:
+                    recv_done = max(clock, sp) + tp
+                    finish[(c + root) % p] = recv_done  # rendezvous sender
+                clock = recv_done + tred
+            mask <<= 1
+        if v:
+            send_post[v] = clock
+            if eager:
+                finish[rank] = clock + ts
+        else:
+            finish[rank] = clock
+    return finish
+
+
+def barrier_schedule(
+    fabric,
+    p: int,
+    nbytes: int = 0,
+    arrivals: Optional[List[float]] = None,
+) -> List[float]:
+    """Per-rank completion times of the dissemination barrier.
+
+    ⌈log2 p⌉ rounds of zero-byte sendrecv (always eager):
+    ``t'[i] = max(t[i] + ts, t[(i - k) % p] + tp)`` per round ``k``.
+    ``nbytes`` is accepted for dispatch uniformity and ignored — barrier
+    traffic is zero-byte by construction.
+    """
+    t = _arrivals(p, arrivals)
+    if p == 1:
+        return t
+    tp, ts, _ = _wire(fabric, 0)
+    lo, hi = min(t), max(t)
+    if lo == hi:
+        # Uniform arrivals: every rank advances identically per round.
+        # Iterate (not closed-form) to keep float rounding bit-identical.
+        cur = lo
+        k = 1
+        while k < p:
+            cur = max(cur + ts, cur + tp)
+            k <<= 1
+        return [cur] * p
+    np = _numpy()
+    if np is not None and p >= 128:
+        v = np.asarray(t, dtype=float)
+        k = 1
+        while k < p:
+            v = np.maximum(v + ts, np.roll(v, k) + tp)
+            k <<= 1
+        return [float(x) for x in v]
+    cur_t = list(t)
+    k = 1
+    while k < p:
+        cur_t = [max(cur_t[i] + ts, cur_t[(i - k) % p] + tp) for i in range(p)]
+        k <<= 1
+    return cur_t
+
+
 #: Schedule functions by collective kind (the fast path's dispatch table).
 SCHEDULES = {
     "bcast": bcast_schedule,
+    "reduce": reduce_schedule,
     "allreduce": allreduce_schedule,
     "allgather": allgather_schedule,
     "alltoall": alltoall_schedule,
+    "barrier": barrier_schedule,
 }
 
 

@@ -1,0 +1,637 @@
+"""Whole-job compilation: max-plus replay + MpiJob memoization.
+
+The stepped engine prices a P-rank job in O(events) generator
+resumptions, envelope matches and heap operations.  But the jobs the
+figure campaigns actually run — CG halo exchanges, FT transpose ring
+shifts, MG stencil neighbours, NPB collectives — have *static*
+communication schedules: every partner, tag and message size is a pure
+function of ``(rank, size)``.  For such jobs the engine is pure
+interpretation overhead, re-deriving the same max-plus fixpoint on every
+run.
+
+This module compiles them instead, in three stages:
+
+1. **Recognition.**  :func:`repro.analyze.staticcheck.rank_program_profile`
+   pre-screens the rank program's AST for constructs the replayer cannot
+   express (wildcard receives, ``irecv``, timeouts).  The pre-filter is
+   advisory; the replay's dynamic guards are authoritative — any
+   unsupported operation encountered mid-replay raises
+   :class:`ReplayFallback` and the job transparently re-runs stepped.
+
+2. **Max-plus replay.**  Rank mains run unmodified against a
+   :class:`_ReplayComm` — a drop-in for the stepped
+   :class:`~repro.mpi.api.Communicator` that advances a per-rank scalar
+   clock through the engine's *exact* timing recurrences (eager
+   completion ``max(recv_post, send_post + tp)``, rendezvous
+   ``max(recv_post, send_post) + tp``, analytic collective schedules)
+   instead of stepping envelopes through the event queue.  Payloads are
+   moved for real, so results are bit-identical; times agree with the
+   stepped engine to float precision (the test suite gates 1e-9).
+
+3. **Memoization.**  A successful replay is stored in an
+   :class:`~repro.perf.cache.EvalCache` keyed by the fingerprint of
+   ``(rank program, fabric, size)`` — rank-program callables fingerprint
+   by bytecode digest, defaults and closure state (see
+   :func:`repro.perf.cache.fingerprint`) — so a repeated point in a
+   sweep returns its :class:`~repro.mpi.runtime.JobResult` in O(1)
+   without replaying, let alone stepping, anything.
+
+Jobs that carry a tracer, verifier or fault plan, run on a resolver or
+time-varying fabric, or were built with ``fast_collectives=False``
+never enter the replay: they go straight to the stepped engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.mpi.collectives import SCHEDULES
+from repro.mpi.fabrics import Fabric
+from repro.mpi.fastpath import _RESULTS
+from repro.mpi.messages import ANY_SOURCE, ANY_TAG
+from repro.mpi.runtime import JobResult, MpiJob, RankMain
+from repro.obs.tracer import NULL_CONTEXT
+from repro.simcore import Engine, Timeout
+
+__all__ = ["CompileStats", "ReplayFallback", "compiled_mpiexec", "replay"]
+
+
+class ReplayFallback(Exception):
+    """The job uses a construct the max-plus replay cannot express.
+
+    Raised internally by the replay layer and caught by
+    :func:`compiled_mpiexec`, which re-runs the job on the stepped
+    engine; user code never sees it.
+    """
+
+
+#: Sentinel a replayed comm method yields to park its rank until a
+#: registered wake condition (message arrival, rendezvous completion,
+#: collective resolution) fires.
+_PARK = object()
+
+
+@dataclass
+class CompileStats:
+    """Where one :func:`compiled_mpiexec` call actually ran.
+
+    ``path`` is ``"memo"`` (warm cache hit), ``"replay"`` (max-plus
+    replay) or ``"stepped"`` (fallback to the event engine); ``reason``
+    names the veto when the replay was refused or abandoned.
+    ``engine_steps`` counts :meth:`~repro.simcore.engine.Engine.timeline`
+    steps — zero for memo and replay paths, the bench's proof that a warm
+    hit steps no event at all.
+    """
+
+    path: str = ""
+    reason: str = ""
+    engine_steps: int = 0
+    replay_ops: int = 0
+    cache_hit: bool = False
+
+
+class _REnv:
+    """A replayed envelope: the stepped Envelope minus its Event."""
+
+    __slots__ = ("source", "dest", "tag", "nbytes", "post_time", "payload",
+                 "pattern", "done_time", "waiter")
+
+    def __init__(self, source: int, dest: int, tag: int, nbytes: int,
+                 post_time: float, payload: Any, pattern: str):
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.nbytes = nbytes
+        self.post_time = post_time
+        self.payload = payload
+        self.pattern = pattern
+        self.done_time: Optional[float] = None  # receiver's completion
+        self.waiter: Optional[int] = None  # rank parked on this envelope
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<_REnv {self.source}->{self.dest} tag={self.tag} "
+            f"nbytes={self.nbytes}>"
+        )
+
+
+class _ReplayRequest:
+    """Handle for a replayed ``isend`` (mirrors the Request contract)."""
+
+    __slots__ = ("_job", "_owner", "_env", "_ready_at", "cancelled")
+
+    def __init__(self, job: "_ReplayJob", owner: int, env: _REnv,
+                 ready_at: Optional[float]):
+        self._job = job
+        self._owner = owner
+        self._env = env
+        self._ready_at = ready_at  # eager sender-side timer; None = rendezvous
+        self.cancelled = False
+
+    def wait(self) -> Generator:
+        job, env = self._job, self._env
+        if self._ready_at is None and env.done_time is None:
+            env.waiter = self._owner
+            while env.done_time is None:
+                yield _PARK
+            env.waiter = None
+        target = self._ready_at if self._ready_at is not None else env.done_time
+        if job.clocks[self._owner] < target:
+            job.clocks[self._owner] = target
+        return None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def complete(self) -> bool:
+        if self._ready_at is not None:
+            return self._job.clocks[self._owner] >= self._ready_at
+        return self._env.done_time is not None
+
+    completed = complete
+
+
+class _CollInst:
+    """One collective occurrence in the replay (duck-typed for _RESULTS)."""
+
+    __slots__ = ("kind", "nbytes", "root", "op", "arrivals", "values",
+                 "pending", "parked", "resolved", "finishes", "results",
+                 "resolve_time")
+
+    def __init__(self, size: int, kind: str, nbytes: int, root: int, op):
+        self.kind = kind
+        self.nbytes = nbytes
+        self.root = root
+        self.op = op
+        self.arrivals: List[float] = [0.0] * size
+        self.values: List[Any] = [None] * size
+        self.pending = size
+        self.parked: List[int] = []
+        self.resolved = False
+        self.finishes: List[float] = []
+        self.results: List[Any] = []
+        self.resolve_time = 0.0
+
+
+class _ReplayComm:
+    """A rank's communicator view inside the max-plus replay.
+
+    Method-compatible with the stepped :class:`~repro.mpi.api.Communicator`
+    for everything a static job may call; operations outside the replayed
+    vocabulary (wildcard receives, ``irecv``, timeouts, deadlines,
+    ``gather``/``scatter``) raise :class:`ReplayFallback`, which sends
+    the whole job back to the stepped engine.
+    """
+
+    __slots__ = ("_job", "rank", "size", "_coll_seq")
+
+    def __init__(self, job: "_ReplayJob", rank: int):
+        self._job = job
+        self.rank = rank
+        self.size = job.size
+        self._coll_seq = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    def _check_peer(self, peer: int) -> None:
+        if not (0 <= peer < self.size):
+            raise ConfigError(f"peer rank {peer} out of range (size {self.size})")
+
+    def fabric(self, peer: int) -> Any:
+        return self._job.fabric
+
+    @property
+    def now(self) -> float:
+        return self._job.clocks[self.rank]
+
+    def phase(self, name: str, cat: str = "app.phase") -> Any:
+        return NULL_CONTEXT
+
+    # ------------------------------------------------------- point-to-point
+
+    def send(self, dest: int, nbytes: int, tag: int = 0, payload: Any = None,
+             pattern: str = "neighbor", _lane: Optional[str] = None,
+             timeout: Optional[float] = None, max_retries: int = 0) -> Generator:
+        if timeout is not None:
+            raise ReplayFallback("timeout-bounded send")
+        self._check_peer(dest)
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        job = self._job
+        fabric = job.fabric
+        clock = job.clocks[self.rank]
+        env = _REnv(self.rank, dest, tag, nbytes, clock, payload, pattern)
+        job.deliver(env)
+        if nbytes <= fabric.eager_max:
+            # Eager: the sender detaches after its local copy.
+            job.clocks[self.rank] = clock + fabric.sender_time(nbytes)
+            return None
+        # Rendezvous: block until the receiver completes the transfer.
+        env.waiter = self.rank
+        while env.done_time is None:
+            yield _PARK
+        env.waiter = None
+        job.clocks[self.rank] = env.done_time
+        return None
+
+    def recv(self, source: Optional[int] = ANY_SOURCE,
+             tag: Optional[int] = ANY_TAG, _lane: Optional[str] = None,
+             timeout: Optional[float] = None, max_retries: int = 0) -> Generator:
+        if timeout is not None:
+            raise ReplayFallback("timeout-bounded recv")
+        if source is None:
+            # Which sender wins an ANY_SOURCE match depends on wall-clock
+            # message order — inherently dynamic, so the engine decides.
+            raise ReplayFallback("wildcard-source recv")
+        self._check_peer(source)
+        job = self._job
+        queue = job.queue(self.rank, source)
+        while True:
+            env = _scan_queue(queue, tag)
+            if env is not None:
+                break
+            job.park_recv(self.rank, source)
+            yield _PARK
+        fabric = job.fabric
+        transfer = fabric.p2p_time(
+            env.nbytes, pattern=env.pattern, n_senders=self.size
+        )
+        clock = job.clocks[self.rank]
+        if env.nbytes <= fabric.eager_max:
+            completion = max(clock, env.post_time + transfer)
+        else:
+            completion = max(clock, env.post_time) + transfer
+        job.clocks[self.rank] = completion
+        env.done_time = completion
+        if env.waiter is not None:
+            job.wake(env.waiter)
+        return env
+
+    def isend(self, dest: int, nbytes: int, tag: int = 0,
+              payload: Any = None) -> _ReplayRequest:
+        self._check_peer(dest)
+        if nbytes < 0:
+            raise ConfigError("nbytes must be non-negative")
+        job = self._job
+        fabric = job.fabric
+        clock = job.clocks[self.rank]
+        env = _REnv(self.rank, dest, tag, nbytes, clock, payload, "neighbor")
+        job.deliver(env)
+        if nbytes <= fabric.eager_max:
+            ready = clock + fabric.sender_time(nbytes)
+            # The engine's sender-side timer fires whether or not the
+            # request is waited; it can end the job's clock.
+            if ready > job.horizon:
+                job.horizon = ready
+            return _ReplayRequest(job, self.rank, env, ready)
+        return _ReplayRequest(job, self.rank, env, None)
+
+    def irecv(self, source: Optional[int] = ANY_SOURCE,
+              tag: Optional[int] = ANY_TAG):
+        # A concurrent receive process overlapping the rank's own blocking
+        # operations has no single-clock equivalent.
+        raise ReplayFallback("irecv")
+
+    def sendrecv(self, dest: int, source: int, nbytes: int, tag: int = 0,
+                 payload: Any = None) -> Generator:
+        req = self.isend(dest, nbytes, tag, payload)
+        env = yield from self.recv(source, tag)
+        yield from req.wait()
+        return env
+
+    # ----------------------------------------------------------- utilities
+
+    def compute(self, seconds: float) -> Generator:
+        if seconds < 0:
+            raise ConfigError("compute time must be non-negative")
+        yield Timeout(seconds)
+
+    # --------------------------------------------------------- collectives
+
+    def _collective(self, kind: str, value: Any, nbytes: int,
+                    root: int = 0, op: Optional[Callable] = None) -> Generator:
+        job = self._job
+        p = self.size
+        seq = self._coll_seq
+        self._coll_seq += 1
+        inst = job.coll_instances.get(seq)
+        if inst is None:
+            inst = job.coll_instances[seq] = _CollInst(p, kind, nbytes, root, op)
+        elif (kind, nbytes, root) != (inst.kind, inst.nbytes, inst.root):
+            # The stepped fallback (whose fast path raises ConfigError on
+            # exactly this mismatch) reports the real error.
+            raise ReplayFallback(
+                f"mismatched collective calls: {inst.kind} vs {kind}"
+            )
+        inst.arrivals[self.rank] = job.clocks[self.rank]
+        inst.values[self.rank] = value
+        inst.pending -= 1
+        if inst.pending > 0:
+            inst.parked.append(self.rank)
+            while not inst.resolved:
+                yield _PARK
+        else:
+            del job.coll_instances[seq]
+            inst.finishes = SCHEDULES[kind](
+                job.fabric, p, nbytes,
+                **({"root": root} if kind in ("bcast", "reduce") else {}),
+                arrivals=inst.arrivals,
+            )
+            inst.results = _RESULTS[kind](inst)
+            inst.resolve_time = max(inst.arrivals)
+            inst.resolved = True
+            job.replay_ops += 1
+            for r in inst.parked:
+                job.wake(r)
+        # Parked ranks resume at the resolution instant, so a finish that
+        # precedes it is clamped — mirroring the fast path exactly.
+        job.clocks[self.rank] = max(
+            inst.finishes[self.rank], inst.resolve_time
+        )
+        return inst.results[self.rank]
+
+    def barrier(self, deadline: Optional[float] = None) -> Generator:
+        if deadline is not None:
+            raise ReplayFallback("deadline-bounded collective")
+        if self.size == 1:
+            return
+        yield from self._collective("barrier", None, 0)
+
+    def bcast(self, value: Any, root: int = 0, nbytes: int = 8,
+              deadline: Optional[float] = None) -> Generator:
+        if deadline is not None:
+            raise ReplayFallback("deadline-bounded collective")
+        self._check_peer(root)
+        if self.size == 1:
+            return value
+        return (yield from self._collective("bcast", value, nbytes, root=root))
+
+    def reduce(self, value: Any, op=None, root: int = 0, nbytes: int = 8,
+               deadline: Optional[float] = None) -> Generator:
+        if deadline is not None:
+            raise ReplayFallback("deadline-bounded collective")
+        self._check_peer(root)
+        if self.size == 1:
+            return value
+        return (yield from self._collective("reduce", value, nbytes,
+                                            root=root, op=op))
+
+    def allreduce(self, value: Any, op=None, nbytes: int = 8,
+                  deadline: Optional[float] = None) -> Generator:
+        if deadline is not None:
+            raise ReplayFallback("deadline-bounded collective")
+        if self.size == 1:
+            return value
+        return (yield from self._collective("allreduce", value, nbytes, op=op))
+
+    def allgather(self, value: Any, nbytes: int = 8,
+                  deadline: Optional[float] = None) -> Generator:
+        if deadline is not None:
+            raise ReplayFallback("deadline-bounded collective")
+        if self.size == 1:
+            return [value]
+        return (yield from self._collective("allgather", value, nbytes))
+
+    def alltoall(self, values, nbytes: int = 8,
+                 deadline: Optional[float] = None) -> Generator:
+        if deadline is not None:
+            raise ReplayFallback("deadline-bounded collective")
+        if values is not None and len(values) != self.size:
+            raise ConfigError(
+                f"alltoall needs {self.size} values, got {len(values)}"
+            )
+        if self.size == 1:
+            return [values[0] if values is not None else None]
+        return (yield from self._collective("alltoall", values, nbytes))
+
+    def gather(self, value: Any, root: int = 0, nbytes: int = 8,
+               deadline: Optional[float] = None):
+        raise ReplayFallback("gather has no analytic schedule")
+
+    def scatter(self, values, root: int = 0, nbytes: int = 8,
+                deadline: Optional[float] = None):
+        raise ReplayFallback("scatter has no analytic schedule")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<_ReplayComm rank {self.rank}/{self.size}>"
+
+
+def _scan_queue(queue: Deque[_REnv], tag: Optional[int]) -> Optional[_REnv]:
+    """Pop the first envelope matching ``tag`` (FIFO per source, exactly
+    the engine's non-overtaking matching order for a concrete source)."""
+    if tag is None:
+        return queue.popleft() if queue else None
+    for i, env in enumerate(queue):
+        if env.tag == tag:
+            del queue[i]
+            return env
+    return None
+
+
+class _ReplayJob:
+    """The replay driver: per-rank clocks, queues and the trampoline."""
+
+    def __init__(self, n_ranks: int, fabric: Any):
+        self.size = n_ranks
+        self.fabric = fabric
+        self.clocks = [0.0] * n_ranks
+        #: (dest, source) -> FIFO of undelivered envelopes.
+        self.queues: Dict[Tuple[int, int], Deque[_REnv]] = {}
+        #: (dest, source) -> rank parked waiting for a message on that edge.
+        self.recv_wait: Dict[Tuple[int, int], int] = {}
+        self.coll_instances: Dict[int, _CollInst] = {}
+        #: Latest sender-side isend timer — the engine drains these even
+        #: when unwaited, so they bound the job's elapsed time.
+        self.horizon = 0.0
+        self.replay_ops = 0
+        self._runnable: Deque[int] = deque()
+        self._queued: set = set()
+
+    # ------------------------------------------------------------ transport
+
+    def queue(self, dest: int, source: int) -> Deque[_REnv]:
+        q = self.queues.get((dest, source))
+        if q is None:
+            q = self.queues[(dest, source)] = deque()
+        return q
+
+    def deliver(self, env: _REnv) -> None:
+        self.queue(env.dest, env.source).append(env)
+        self.replay_ops += 1
+        waiter = self.recv_wait.pop((env.dest, env.source), None)
+        if waiter is not None:
+            self.wake(waiter)
+
+    def park_recv(self, dest: int, source: int) -> None:
+        self.recv_wait[(dest, source)] = dest
+
+    def wake(self, rank: int) -> None:
+        if rank not in self._queued:
+            self._queued.add(rank)
+            self._runnable.append(rank)
+
+    # ----------------------------------------------------------- trampoline
+
+    def run(self, main: RankMain) -> JobResult:
+        """Drive every rank's generator to completion on scalar clocks."""
+        p = self.size
+        gens = [main(_ReplayComm(self, r)) for r in range(p)]
+        for r, gen in enumerate(gens):
+            if not hasattr(gen, "send"):
+                raise ReplayFallback("rank main is not a generator")
+            self.wake(r)
+        finished = [False] * p
+        returns: List[Any] = [None] * p
+        resume: List[Any] = [None] * p
+        while self._runnable:
+            r = self._runnable.popleft()
+            self._queued.discard(r)
+            while True:
+                try:
+                    cmd = gens[r].send(resume[r])
+                except StopIteration as stop:
+                    returns[r] = stop.value
+                    finished[r] = True
+                    break
+                resume[r] = None
+                if cmd is _PARK:
+                    break  # a registered wake re-queues this rank
+                if isinstance(cmd, Timeout):
+                    self.clocks[r] += cmd.delay
+                    resume[r] = cmd.value
+                    continue
+                raise ReplayFallback(
+                    f"unsupported engine command: {type(cmd).__name__}"
+                )
+        if not all(finished):
+            # Unmatched communication: the stepped engine owns deadlock
+            # detection and its error report.
+            raise ReplayFallback("replay stalled before every rank finished")
+        elapsed = max(max(self.clocks), self.horizon)
+        return JobResult(elapsed=elapsed, returns=returns, mode="replay")
+
+
+def replay(n_ranks: int, fabric: Any, main: RankMain) -> JobResult:
+    """Run ``main`` through the max-plus replay (no memoization, no
+    stepped fallback).  Raises :class:`ReplayFallback` when the job is
+    not replayable — primarily a hook for tests and benchmarks."""
+    return _ReplayJob(n_ranks, fabric).run(main)
+
+
+# ==========================================================================
+# The compiled mpiexec
+# ==========================================================================
+
+
+def _refusal(
+    n_ranks: int,
+    fabric: Any,
+    engine: Optional[Engine],
+    tracer: Optional[Any],
+    fast_collectives: Optional[bool],
+    fault_plan: Optional[Any],
+    verifier: Optional[Any],
+) -> Optional[str]:
+    """Why this job must step, or None when it is a replay candidate."""
+    if engine is not None:
+        return "caller-provided engine"
+    if tracer is not None:
+        return "tracer attached"
+    if verifier is not None:
+        return "dynamic verifier armed"
+    if fault_plan is not None:
+        return "fault plan armed"
+    if fast_collectives is False:
+        return "fast_collectives disabled"
+    if n_ranks < 1:
+        return "invalid rank count"  # the stepped path raises ConfigError
+    if not (isinstance(fabric, Fabric) or not callable(fabric)):
+        return "resolver fabric (per-rank-pair routing)"
+    if getattr(fabric, "time_varying", False):
+        return "time-varying fabric"
+    return None
+
+
+def compiled_mpiexec(
+    n_ranks: int,
+    fabric: Any,
+    main: RankMain,
+    *,
+    engine: Optional[Engine] = None,
+    tracer: Optional[Any] = None,
+    fast_collectives: Optional[bool] = None,
+    fault_plan: Optional[Any] = None,
+    verifier: Optional[Any] = None,
+    cache: Optional[Any] = None,
+    stats: Optional[CompileStats] = None,
+) -> JobResult:
+    """Run ``main`` like :func:`~repro.mpi.runtime.mpiexec`, compiled.
+
+    Resolution order: warm :class:`~repro.perf.cache.EvalCache` memo →
+    max-plus replay (memoizing on success) → transparent stepped
+    fallback.  The stepped fallback accepts every job
+    :func:`~repro.mpi.runtime.mpiexec` accepts, with identical results
+    and identical errors, so callers can substitute this function
+    unconditionally.  A memo hit returns stored per-rank values; treat
+    them as read-only (runs sharing a cache share the objects).
+
+    Pass a :class:`CompileStats` as ``stats`` to observe which path ran.
+    """
+    st = stats if stats is not None else CompileStats()
+    reason = _refusal(
+        n_ranks, fabric, engine, tracer, fast_collectives, fault_plan, verifier
+    )
+    key = None
+    if reason is None and cache is not None:
+        key = cache.key("mpijob", main, fabric, n_ranks)
+        hit = cache.get(key)
+        if hit is not None:
+            elapsed, returns = hit
+            st.path, st.cache_hit = "memo", True
+            return JobResult(elapsed=elapsed, returns=list(returns), mode="memo")
+    if reason is None:
+        # Advisory static pre-screen.  Imported lazily: repro.analyze's
+        # package init pulls in the verifier, which imports repro.mpi.
+        from repro.analyze.staticcheck import rank_program_profile
+
+        profile = rank_program_profile(main)
+        vetoes = profile.veto_reasons()
+        if vetoes and not profile.unknown:
+            reason = f"static profile: {vetoes[0]}"
+    if reason is None:
+        job = _ReplayJob(n_ranks, fabric)
+        try:
+            result = job.run(main)
+        except ReplayFallback as exc:
+            reason = str(exc)
+        except ConfigError:
+            # Same error the stepped engine raises; let the fallback
+            # reproduce it so behaviour is byte-for-byte transparent.
+            reason = "config error during replay"
+        except Exception as exc:
+            # Anything else (a main poking engine internals the replay
+            # comm lacks, a bug in the rank program) also falls back:
+            # rank programs are deterministic, so the stepped run either
+            # succeeds for real or raises the genuine error.
+            reason = f"replay error: {type(exc).__name__}"
+        else:
+            st.path = "replay"
+            st.replay_ops = job.replay_ops
+            if cache is not None and key is not None:
+                cache.put(key, (result.elapsed, list(result._returns)))
+            return result
+    st.path, st.reason = "stepped", reason or ""
+    eng = engine if engine is not None else Engine()
+    stepped = MpiJob(
+        n_ranks, fabric, engine=eng, tracer=tracer,
+        fast_collectives=fast_collectives, fault_plan=fault_plan,
+        verifier=verifier,
+    )
+    stepped.launch(main)
+    result = stepped.run()
+    st.engine_steps = eng.timeline()
+    return result

@@ -9,8 +9,9 @@ timing is a deterministic function of the per-rank entry times, and
 :mod:`repro.mpi.collectives` knows the closed recurrence for it
 (``*_schedule``).
 
-This module short-circuits the four symmetric collectives (bcast,
-allreduce, allgather, alltoall) on such *uniform* jobs: each rank
+This module short-circuits the six uniform-parameter collectives (bcast,
+reduce, allreduce, allgather, alltoall, barrier) on such *uniform* jobs:
+each rank
 deposits its value and arrival time into a shared per-job instance; the
 last rank to arrive evaluates the exact schedule, computes every rank's
 result (replaying the algorithm's combination order, so payloads are
@@ -26,9 +27,10 @@ The fast path is *off* when
 * the job was built with ``fast_collectives=False``.
 
 One caveat: with skewed arrivals, a rank whose analytic finish precedes
-the last arrival (possible only for bcast — early subtrees are causally
-independent of late ranks) resumes at the resolution instant instead;
-with simultaneous arrivals every finish is exact.
+the last arrival (possible for bcast's early subtrees and reduce's leaf
+senders, which are causally independent of late ranks) resumes at the
+resolution instant instead; with simultaneous arrivals every finish is
+exact.
 """
 
 from __future__ import annotations
@@ -95,7 +97,13 @@ class FastCollectives:
                 self.size, kind, nbytes, root, op
             )
         else:
-            inst.check(kind, nbytes, root)
+            try:
+                inst.check(kind, nbytes, root)
+            except ConfigError as exc:
+                # Fail the ranks already parked on this occurrence so the
+                # job surfaces the mismatch instead of a secondary hang.
+                self._abort(seq, inst, exc)
+                raise
         rank = comm.rank
         engine = comm.engine
         if kind == "alltoall" and value is not None and len(value) != self.size:
@@ -113,7 +121,7 @@ class FastCollectives:
             del self._instances[seq]  # last arrival resolves the occurrence
             finishes = SCHEDULES[kind](
                 self.fabric, self.size, nbytes,
-                **({"root": root} if kind == "bcast" else {}),
+                **({"root": root} if kind in ("bcast", "reduce") else {}),
                 arrivals=inst.arrivals,
             )
             results = _RESULTS[kind](inst)
@@ -126,6 +134,27 @@ class FastCollectives:
         if delay > 0:
             yield Timeout(delay)
         return result
+
+    def _abort(self, seq: int, inst: _Instance, exc: ConfigError) -> None:
+        """Fail every rank parked on ``inst`` after a parameter mismatch.
+
+        Without this, the mismatching rank's ConfigError kills the job's
+        first run while the already-arrived ranks stay blocked on their
+        events forever — a later ``run()`` would then report a deadlock
+        instead of the real configuration error.
+        """
+        self._instances.pop(seq, None)
+        for ev in inst.events:
+            if ev is None or ev.triggered:
+                continue
+            waiters, ev._waiters = list(ev._waiters), []
+            for proc in waiters:
+                if callable(proc) or proc.failure is not None or proc.finished:
+                    continue
+                try:
+                    proc.fail(ConfigError(str(exc)))
+                except ConfigError:
+                    pass  # the throw propagated out of the rank generator
 
 
 # --------------------------------------------------------------------------
@@ -178,9 +207,37 @@ def _alltoall_results(inst: _Instance) -> List[Any]:
     ]
 
 
+def _reduce_results(inst: _Instance) -> List[Any]:
+    op = operator.add if inst.op is None else inst.op
+    values = inst.values
+    p = len(values)
+    root = inst.root
+    # Replay the binomial tree's combination order: each vrank folds in
+    # its children ascending-mask, children having folded theirs first.
+    acc: List[Any] = [None] * p  # by vrank
+    for v in range(p - 1, -1, -1):
+        result = values[(v + root) % p]
+        mask = 1
+        while mask < p and not (v & mask):
+            c = v + mask
+            if c < p:
+                result = op(result, acc[c])
+            mask <<= 1
+        acc[v] = result
+    out: List[Any] = [None] * p
+    out[root] = acc[0]
+    return out
+
+
+def _barrier_results(inst: _Instance) -> List[Any]:
+    return [None] * len(inst.values)
+
+
 _RESULTS: Dict[str, Callable[[_Instance], List[Any]]] = {
     "bcast": _bcast_results,
+    "reduce": _reduce_results,
     "allreduce": _allreduce_results,
     "allgather": _allgather_results,
     "alltoall": _alltoall_results,
+    "barrier": _barrier_results,
 }

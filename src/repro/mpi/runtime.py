@@ -59,9 +59,14 @@ class JobResult:
         — use :meth:`partial_returns` to opt in to partial data.
     finished:
         Per-rank completion flags.
+    mode:
+        How the result was produced: ``"stepped"`` (the event engine),
+        ``"replay"`` (:mod:`repro.mpi.compile`'s analytic max-plus
+        replay) or ``"memo"`` (a warm :class:`~repro.perf.cache.EvalCache`
+        hit that stepped no event at all).
     """
 
-    __slots__ = ("elapsed", "_returns", "completed", "finished")
+    __slots__ = ("elapsed", "_returns", "completed", "finished", "mode")
 
     def __init__(
         self,
@@ -69,11 +74,13 @@ class JobResult:
         returns: List[Any],
         completed: bool = True,
         finished: Optional[List[bool]] = None,
+        mode: str = "stepped",
     ):
         self.elapsed = elapsed
         self._returns = returns
         self.completed = completed
         self.finished = [True] * len(returns) if finished is None else finished
+        self.mode = mode
 
     @property
     def returns(self) -> List[Any]:

@@ -21,6 +21,7 @@ Usage::
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Generator, Optional
 
 import numpy as np
@@ -326,18 +327,52 @@ def is_mpi(comm: Communicator, problem: str = "S") -> Generator:
     }
 
 
-def run_cg_mpi(n_ranks: int, fabric, problem: str = "S"):
-    """Convenience launcher: build the matrix once, run, return JobResult."""
-    from repro.mpi.runtime import mpiexec
+def run_cg_mpi(
+    n_ranks: int,
+    fabric,
+    problem: str = "S",
+    compiled: bool = False,
+    cache=None,
+    stats=None,
+):
+    """Convenience launcher: build the matrix once, run, return JobResult.
 
+    ``compiled=True`` routes through
+    :func:`repro.mpi.compile.compiled_mpiexec`: the job replays on the
+    analytic max-plus schedules (falling back to the stepped engine
+    transparently) and, given an :class:`~repro.perf.cache.EvalCache` as
+    ``cache``, memoizes whole runs keyed by (program, matrix, fabric,
+    size).  The rank main is a :func:`functools.partial` — not a lambda —
+    so its fingerprint covers the problem class and matrix contents.
+    """
     if n_ranks & (n_ranks - 1):
         raise ConfigError("CG requires a power-of-two rank count")
     a = cg_serial.make_matrix(problem)
-    return mpiexec(n_ranks, fabric, lambda comm: cg_mpi(comm, problem, matrix=a))
+    main = partial(cg_mpi, problem=problem, matrix=a)
+    if compiled:
+        from repro.mpi.compile import compiled_mpiexec
 
-
-def run_ep_mpi(n_ranks: int, fabric, problem: str = "S"):
-    """Convenience launcher for the distributed EP."""
+        return compiled_mpiexec(n_ranks, fabric, main, cache=cache, stats=stats)
     from repro.mpi.runtime import mpiexec
 
-    return mpiexec(n_ranks, fabric, lambda comm: ep_mpi(comm, problem))
+    return mpiexec(n_ranks, fabric, main)
+
+
+def run_ep_mpi(
+    n_ranks: int,
+    fabric,
+    problem: str = "S",
+    compiled: bool = False,
+    cache=None,
+    stats=None,
+):
+    """Convenience launcher for the distributed EP (see :func:`run_cg_mpi`
+    for the ``compiled``/``cache``/``stats`` contract)."""
+    main = partial(ep_mpi, problem=problem)
+    if compiled:
+        from repro.mpi.compile import compiled_mpiexec
+
+        return compiled_mpiexec(n_ranks, fabric, main, cache=cache, stats=stats)
+    from repro.mpi.runtime import mpiexec
+
+    return mpiexec(n_ranks, fabric, main)

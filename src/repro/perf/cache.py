@@ -18,11 +18,12 @@ invalidates the cached points naturally.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Set, Tuple
 
 __all__ = ["CacheStats", "EvalCache", "fingerprint"]
 
@@ -32,46 +33,133 @@ __all__ = ["CacheStats", "EvalCache", "fingerprint"]
 # ==========================================================================
 
 
-def _canonical(obj: Any, out: list) -> None:
+def _code_digest(code: Any) -> str:
+    """A SHA-256 digest of a code object, stable across interpreter runs.
+
+    Covers the pieces that define behaviour — name, argument counts,
+    bytecode, referenced names and constants (recursing into nested code
+    objects) — and nothing address- or hash-seed-dependent, so a rank
+    program fingerprints identically in every process running the same
+    Python version.
+    """
+    h = hashlib.sha256()
+    h.update(code.co_name.encode())
+    h.update(
+        f"{code.co_argcount}:{code.co_posonlyargcount}:"
+        f"{code.co_kwonlyargcount}:{code.co_flags}".encode()
+    )
+    h.update(code.co_code)
+    h.update(";".join(code.co_names + code.co_varnames).encode())
+    for const in code.co_consts:
+        if isinstance(const, type(code)):
+            h.update(_code_digest(const).encode())
+        elif isinstance(const, frozenset):
+            # Iteration order is hash-seed-dependent; sort for stability.
+            h.update(repr(sorted(const, key=repr)).encode())
+        else:
+            h.update(repr(const).encode())
+    return h.hexdigest()
+
+
+def _canonical(obj: Any, out: list, _seen: Optional[Set[int]] = None) -> None:
     """Append a canonical token stream for ``obj`` to ``out``.
 
     Handles the vocabulary our specs are written in: primitives, enums,
-    frozen dataclasses, mappings, sequences and plain objects (via their
-    attribute dict).  Floats use ``repr`` so equal values fingerprint
-    equally regardless of how they were computed.
+    frozen dataclasses, mappings, sequences, arrays, callables (down to
+    their bytecode, defaults and closure state — so a rank program is a
+    first-class cache key) and plain objects (via their attribute dict).
+    Floats use ``repr`` so equal values fingerprint equally regardless of
+    how they were computed.
+
+    ``_seen`` guards the *current recursion path* against cycles: an
+    object is marked only while its subtree is being walked, so a DAG
+    that shares one sub-object fingerprints identically to an equal tree
+    built from copies.
     """
     if obj is None or isinstance(obj, (bool, int, str, bytes)):
         out.append(f"{type(obj).__name__}:{obj!r};")
-    elif isinstance(obj, float):
+        return
+    if isinstance(obj, float):
         out.append(f"float:{obj!r};")
-    elif isinstance(obj, Enum):
+        return
+    if isinstance(obj, complex):
+        out.append(f"complex:{obj!r};")
+        return
+    if isinstance(obj, Enum):
         out.append(f"enum:{type(obj).__name__}.{obj.name};")
-    elif is_dataclass(obj) and not isinstance(obj, type):
+        return
+    if _seen is None:
+        _seen = set()
+    oid = id(obj)
+    if oid in _seen:
+        out.append("cycle;")
+        return
+    _seen.add(oid)
+    try:
+        _canonical_composite(obj, out, _seen)
+    finally:
+        _seen.discard(oid)
+
+
+def _canonical_composite(obj: Any, out: list, _seen: Set[int]) -> None:
+    if is_dataclass(obj) and not isinstance(obj, type):
         out.append(f"dc:{type(obj).__name__}(")
         for f in fields(obj):
             out.append(f"{f.name}=")
-            _canonical(getattr(obj, f.name), out)
+            _canonical(getattr(obj, f.name), out, _seen)
         out.append(");")
     elif isinstance(obj, dict):
         out.append("map{")
         for k in sorted(obj, key=repr):
-            _canonical(k, out)
+            _canonical(k, out, _seen)
             out.append("->")
-            _canonical(obj[k], out)
+            _canonical(obj[k], out, _seen)
         out.append("};")
     elif isinstance(obj, (tuple, list)):
         out.append(f"{type(obj).__name__}[")
         for item in obj:
-            _canonical(item, out)
+            _canonical(item, out, _seen)
         out.append("];")
     elif isinstance(obj, (set, frozenset)):
         out.append("set{")
         for item in sorted(obj, key=repr):
-            _canonical(item, out)
+            _canonical(item, out, _seen)
         out.append("};")
+    elif hasattr(obj, "dtype") and hasattr(obj, "tobytes"):
+        # Array duck type (numpy without importing numpy): dtype, shape
+        # and a content digest — problem matrices key NPB job memos.
+        digest = hashlib.sha256(obj.tobytes()).hexdigest()
+        out.append(f"nd:{obj.dtype}:{getattr(obj, 'shape', ())}:{digest};")
+    elif isinstance(obj, functools.partial):
+        out.append("partial(")
+        _canonical(obj.func, out, _seen)
+        _canonical(obj.args, out, _seen)
+        _canonical(obj.keywords, out, _seen)
+        out.append(");")
+    elif callable(obj) and getattr(obj, "__func__", None) is not None:
+        out.append("bound(")
+        _canonical(obj.__func__, out, _seen)
+        _canonical(obj.__self__, out, _seen)
+        out.append(");")
+    elif callable(obj) and getattr(obj, "__code__", None) is not None:
+        # Python functions key by *behaviour*: bytecode digest, defaults
+        # and closure contents — not memory addresses — so the same rank
+        # program fingerprints identically across interpreter runs while
+        # any edit to its body or captured state changes the key.
+        module = getattr(obj, "__module__", "?")
+        qualname = getattr(obj, "__qualname__", repr(obj))
+        out.append(f"fn:{module}.{qualname}(code:{_code_digest(obj.__code__)};")
+        _canonical(getattr(obj, "__defaults__", None), out, _seen)
+        _canonical(getattr(obj, "__kwdefaults__", None), out, _seen)
+        for cell in getattr(obj, "__closure__", None) or ():
+            try:
+                _canonical(cell.cell_contents, out, _seen)
+            except ValueError:
+                out.append("cell:empty;")
+        out.append(");")
     elif callable(obj):
-        # Functions/bound methods participate by identity of their code
-        # location, not their closure state.
+        # C-level callables have no inspectable code: identity of their
+        # code location is the best stable key available.
         module = getattr(obj, "__module__", "?")
         qualname = getattr(obj, "__qualname__", repr(obj))
         out.append(f"fn:{module}.{qualname};")
@@ -85,7 +173,7 @@ def _canonical(obj: Any, out: list) -> None:
             state = {s: getattr(obj, s) for s in slots if hasattr(obj, s)}
         for k in sorted(state):
             out.append(f"{k}=")
-            _canonical(state[k], out)
+            _canonical(state[k], out, _seen)
         out.append(");")
 
 
@@ -194,9 +282,27 @@ class EvalCache:
         return out
 
     def put_many(self, pairs: Iterable[Tuple[str, Any]]) -> None:
-        """Store ``(key, value)`` pairs (LRU eviction applies per insert)."""
+        """Store ``(key, value)`` pairs, evicting only after the batch.
+
+        Eviction prefers keys *not* written in this batch (oldest first),
+        so a partial-hit campaign that writes its misses back cannot
+        evict sibling points inserted moments earlier in the same batch.
+        Only when the batch alone exceeds ``max_entries`` do its own
+        oldest members fall out.
+        """
+        batch: Set[str] = set()
         for key, value in pairs:
-            self.put(key, value)
+            self._data[key] = value
+            self._data.move_to_end(key)
+            batch.add(key)
+        if self.max_entries is None:
+            return
+        while len(self._data) > self.max_entries:
+            victim = next((k for k in self._data if k not in batch), None)
+            if victim is None:
+                victim = next(iter(self._data))
+            del self._data[victim]
+            self.stats.evictions += 1
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing and storing on miss.

@@ -19,7 +19,7 @@ from repro.errors import ConfigError
 from repro.mpi.fabrics import host_fabric, phi_fabric
 from repro.mpi.runtime import MpiJob, mpiexec
 
-KINDS = ("bcast", "allreduce", "allgather", "alltoall")
+KINDS = ("bcast", "reduce", "allreduce", "allgather", "alltoall", "barrier")
 SIZES = (4, 16, 64)
 TOL = 1e-9
 
@@ -44,6 +44,11 @@ def _collective_main(kind: str, nbytes: int, skew: float, comm):
     if kind == "alltoall":
         values = [comm.rank * comm.size + d for d in range(comm.size)]
         return (yield from comm.alltoall(values, nbytes=nbytes))
+    if kind == "reduce":
+        return (yield from comm.reduce(comm.rank + 1, nbytes=nbytes))
+    if kind == "barrier":
+        yield from comm.barrier()
+        return comm.rank
     raise AssertionError(kind)
 
 
@@ -70,7 +75,7 @@ def test_fast_path_matches_des(kind, fabric_name, p):
         )
 
 
-@pytest.mark.parametrize("kind", ("allreduce", "allgather", "alltoall"))
+@pytest.mark.parametrize("kind", ("allreduce", "allgather", "alltoall", "barrier"))
 def test_fast_path_matches_des_with_skewed_arrivals(kind):
     """Ranks entering at staggered times still agree with the DES run."""
     p = 16
@@ -92,6 +97,24 @@ def test_allreduce_float_payloads_bit_identical():
         fast = mpiexec(p, host_fabric(), main, fast_collectives=True)
         des = mpiexec(p, host_fabric(), main, fast_collectives=False)
         assert fast.returns == des.returns  # exact equality, not approx
+
+
+def test_reduce_root_result_bit_identical():
+    """Reduce replays the binomial combine order, so the root's float
+    accumulation matches the DES result bit for bit — and only the root
+    holds a value."""
+
+    def main(comm):
+        value = 0.1 * (comm.rank + 1)
+        total = yield from comm.reduce(value, root=1, nbytes=8)
+        return total
+
+    for p in (5, 12, 16):
+        fast = mpiexec(p, host_fabric(), main, fast_collectives=True)
+        des = mpiexec(p, host_fabric(), main, fast_collectives=False)
+        assert fast.returns == des.returns  # exact equality, not approx
+        assert fast.returns[1] is not None
+        assert all(r is None for i, r in enumerate(fast.returns) if i != 1)
 
 
 def _slow_rank_resolver():
@@ -127,6 +150,25 @@ def test_mismatched_collectives_raise_instead_of_deadlocking():
 
     with pytest.raises(ConfigError, match="mismatched collective"):
         mpiexec(4, host_fabric(), main, fast_collectives=True)
+
+
+def test_mismatch_fails_blocked_ranks_no_secondary_hang():
+    """A mismatch must fail the already-arrived (parked) ranks too, so
+    the engine doesn't then report a bogus deadlock among them."""
+
+    def main(comm):
+        if comm.rank == comm.size - 1:
+            return (yield from comm.allreduce(1, nbytes=16))
+        return (yield from comm.allreduce(1, nbytes=8))
+
+    job = MpiJob(4, host_fabric(), fast_collectives=True)
+    job.launch(main)
+    with pytest.raises(ConfigError, match="mismatched collective"):
+        job.run()
+    # Every parked rank was failed with the same ConfigError, so a
+    # continued run finds no live-but-stuck processes to misdiagnose.
+    assert all(p.failure is not None for p in job._procs[:3])
+    job.run()
 
 
 def test_fast_path_disabled_under_tracer():

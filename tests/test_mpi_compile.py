@@ -1,0 +1,455 @@
+"""Whole-job compilation (:mod:`repro.mpi.compile`) vs the stepped engine.
+
+Three contracts are gated here:
+
+* **Replay equivalence** — a recognized static job replayed on max-plus
+  scalar clocks agrees with the fully stepped discrete-event run to 1e-9
+  relative elapsed time (float-exact in practice) with bit-identical
+  per-rank return values, across eager and rendezvous regimes, both
+  fabrics, and skewed arrivals.
+* **Transparent fallback** — every construct the replay cannot express
+  (wildcard receives, ``irecv``, timeouts, tracers, verifiers, fault
+  plans, resolver fabrics, caller-provided engines) silently re-runs on
+  the stepped engine with identical results and identical errors.
+* **Memoization** — a warm :class:`~repro.perf.cache.EvalCache` hit
+  returns the stored :class:`~repro.mpi.runtime.JobResult` without
+  stepping a single engine event, and the fingerprint key separates
+  jobs by rank program (including closure/partial state), fabric and
+  rank count.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mpi.compile import (
+    CompileStats,
+    ReplayFallback,
+    compiled_mpiexec,
+    replay,
+)
+from repro.mpi.fabrics import host_fabric, phi_fabric
+from repro.mpi.runtime import mpiexec
+from repro.perf.cache import EvalCache
+from repro.simcore import Engine
+
+TOL = 1e-9
+
+
+def _fabric(name: str):
+    return host_fabric() if name == "host" else phi_fabric(2)
+
+
+def _rel(a: float, b: float) -> float:
+    return abs(a - b) / b if b else abs(a - b)
+
+
+# --------------------------------------------------------------- rank mains
+
+
+def _halo_main(nbytes, comm):
+    """Two ring sendrecvs + barrier: the CG/MG halo-exchange skeleton."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    yield from comm.sendrecv(right, left, nbytes=nbytes)
+    yield from comm.sendrecv(left, right, nbytes=nbytes)
+    yield from comm.barrier()
+    return comm.rank
+
+
+def _cg_like_main(nbytes, comm):
+    """Halo + compute + reductions, iterated: a mini CG solver shape."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    acc = 0.0
+    for _ in range(3):
+        yield from comm.sendrecv(right, left, nbytes=nbytes)
+        yield from comm.compute(2e-7 * (comm.rank + 1))
+        acc = yield from comm.allreduce(acc + 0.1 * (comm.rank + 1), nbytes=8)
+    root_sum = yield from comm.reduce(comm.rank, nbytes=8)
+    yield from comm.barrier()
+    return (acc, root_sum)
+
+
+def _isend_ring_main(nbytes, comm):
+    """Explicit isend/recv/wait ring plus a trailing collective."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    req = comm.isend(right, nbytes, tag=3, payload=comm.rank)
+    env = yield from comm.recv(left, tag=3)
+    yield from req.wait()
+    total = yield from comm.allreduce(env.payload, nbytes=8)
+    return total
+
+
+def _unwaited_isend_main(comm):
+    """Rank 0's eager isend is never waited; its sender-side timer must
+    still bound the job's elapsed time (the replay's horizon)."""
+    if comm.rank == 0:
+        comm.isend(1, 128, payload="fire-and-forget")
+        yield from comm.compute(0.0)
+        return None
+    if comm.rank == 1:
+        env = yield from comm.recv(0)
+        return env.payload
+    yield from comm.compute(1e-8)
+    return None
+
+
+def _wildcard_main(comm):
+    if comm.rank == 0:
+        sources = []
+        for _ in range(comm.size - 1):
+            env = yield from comm.recv()
+            sources.append(env.source)
+        return sources
+    yield from comm.send(0, nbytes=64, tag=7)
+    return None
+
+
+def _irecv_main(comm):
+    if comm.rank == 0:
+        req = comm.irecv(source=1)
+        yield from comm.compute(1e-6)
+        yield from req.wait()
+        return None
+    if comm.rank == 1:
+        yield from comm.send(0, nbytes=64)
+    yield from comm.compute(1e-6)
+    return None
+
+
+def _timeout_main(comm):
+    if comm.rank == 0:
+        env = yield from comm.recv(source=1, timeout=1.0)
+        return env.nbytes
+    if comm.rank == 1:
+        yield from comm.send(0, nbytes=64)
+    yield from comm.compute(1e-8)
+    return None
+
+
+def _mismatch_main(comm):
+    if comm.rank == 0:
+        return (yield from comm.allreduce(1, nbytes=8))
+    return (yield from comm.allreduce(1, nbytes=16))
+
+
+def _bad_peer_main(comm):
+    yield from comm.send(comm.size + 3, nbytes=64)
+
+
+def _engine_poke_main(comm):
+    """Touches ``comm.engine`` — present on the stepped Communicator,
+    absent from the replay comm — exercising the generic-error fallback."""
+    _ = comm.engine.now
+    yield from comm.barrier()
+    return comm.rank
+
+
+# ------------------------------------------------------ replay equivalence
+
+
+@pytest.mark.parametrize("fabric_name", ("host", "phi"))
+@pytest.mark.parametrize("p", (4, 16, 64))
+def test_replay_matches_stepped_halo(fabric_name, p):
+    for nbytes in (256, 512 * 1024):  # eager and rendezvous regimes
+        main = partial(_halo_main, nbytes)
+        rep = replay(p, _fabric(fabric_name), main)
+        des = mpiexec(p, _fabric(fabric_name), main, fast_collectives=False)
+        assert rep.returns == des.returns
+        rel = _rel(rep.elapsed, des.elapsed)
+        assert rel <= TOL, (
+            f"halo P={p} {fabric_name} nbytes={nbytes}: "
+            f"replay {rep.elapsed!r} vs DES {des.elapsed!r} (rel {rel:.2e})"
+        )
+        assert rep.mode == "replay"
+
+
+@pytest.mark.parametrize("main_fn", (_cg_like_main, _isend_ring_main))
+def test_replay_matches_stepped_mixed_programs(main_fn):
+    for p in (4, 16):
+        for nbytes in (256, 512 * 1024):
+            main = partial(main_fn, nbytes)
+            rep = replay(p, host_fabric(), main)
+            des = mpiexec(p, host_fabric(), main, fast_collectives=False)
+            assert rep.returns == des.returns  # float payloads: bit-exact
+            assert _rel(rep.elapsed, des.elapsed) <= TOL
+
+
+def test_replay_matches_default_mpiexec():
+    """compiled vs the production path (fast collectives enabled)."""
+    for nbytes in (256, 512 * 1024):
+        main = partial(_cg_like_main, nbytes)
+        st = CompileStats()
+        rep = compiled_mpiexec(16, host_fabric(), main, stats=st)
+        ref = mpiexec(16, host_fabric(), main)
+        assert st.path == "replay"
+        assert rep.returns == ref.returns
+        assert _rel(rep.elapsed, ref.elapsed) <= TOL
+
+
+def test_replay_honours_unwaited_isend_horizon():
+    rep = replay(4, host_fabric(), _unwaited_isend_main)
+    des = mpiexec(4, host_fabric(), _unwaited_isend_main,
+                  fast_collectives=False)
+    assert rep.returns == des.returns
+    assert _rel(rep.elapsed, des.elapsed) <= TOL
+
+
+def test_replay_deterministic():
+    main = partial(_cg_like_main, 4096)
+    r1 = replay(32, host_fabric(), main)
+    r2 = replay(32, host_fabric(), main)
+    assert r1.elapsed == r2.elapsed
+    assert r1.returns == r2.returns
+
+
+def test_replay_large_p_matches_stepped():
+    """P=1024 halo: the scaling regime the compiler exists for."""
+    p = 1024
+    main = partial(_halo_main, 1024)
+    rep = replay(p, phi_fabric(2), main)
+    des = mpiexec(p, phi_fabric(2), main, fast_collectives=False)
+    assert rep.returns == des.returns
+    assert _rel(rep.elapsed, des.elapsed) <= TOL
+
+
+def test_single_rank_job_replays():
+    def solo(comm):
+        yield from comm.compute(1e-6)
+        v = yield from comm.allreduce(comm.rank + 1, nbytes=8)
+        yield from comm.barrier()
+        return v
+
+    rep = replay(1, host_fabric(), solo)
+    des = mpiexec(1, host_fabric(), solo, fast_collectives=False)
+    assert rep.returns == des.returns
+    assert _rel(rep.elapsed, des.elapsed) <= TOL
+
+
+# ------------------------------------------------------ dynamic guardrails
+
+
+def test_replay_refuses_wildcard_recv():
+    with pytest.raises(ReplayFallback, match="wildcard"):
+        replay(4, host_fabric(), _wildcard_main)
+
+
+def test_replay_refuses_irecv():
+    with pytest.raises(ReplayFallback, match="irecv"):
+        replay(4, host_fabric(), _irecv_main)
+
+
+def test_replay_refuses_timeouts():
+    with pytest.raises(ReplayFallback, match="timeout"):
+        replay(4, host_fabric(), _timeout_main)
+
+
+def test_replay_refuses_unmatched_communication():
+    def stuck(comm):
+        if comm.rank == 0:
+            yield from comm.recv(source=1, tag=9)  # never sent
+        yield from comm.compute(1e-8)
+
+    with pytest.raises(ReplayFallback, match="stalled"):
+        replay(2, host_fabric(), stuck)
+
+
+# ---------------------------------------------------- transparent fallback
+
+
+def _assert_stepped(st: CompileStats, needle: str) -> None:
+    assert st.path == "stepped", (st.path, st.reason)
+    assert needle in st.reason, st.reason
+    assert st.engine_steps > 0
+
+
+def test_fallback_wildcard_recv_matches_stepped():
+    st = CompileStats()
+    res = compiled_mpiexec(4, host_fabric(), _wildcard_main, stats=st)
+    _assert_stepped(st, "wildcard")
+    ref = mpiexec(4, host_fabric(), _wildcard_main)
+    assert res.elapsed == ref.elapsed
+    assert res.returns == ref.returns
+
+
+def test_fallback_tracer():
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    st = CompileStats()
+    main = partial(_halo_main, 256)
+    res = compiled_mpiexec(8, host_fabric(), main, tracer=tracer, stats=st)
+    _assert_stepped(st, "tracer")
+    assert len(tracer) > 0  # spans were actually recorded
+    des = mpiexec(8, host_fabric(), main, fast_collectives=False)
+    assert _rel(res.elapsed, des.elapsed) <= TOL
+
+
+def test_fallback_verifier():
+    from repro.analyze.verifier import Verifier
+
+    st = CompileStats()
+    main = partial(_halo_main, 256)
+    verifier = Verifier()
+    res = compiled_mpiexec(8, host_fabric(), main, verifier=verifier, stats=st)
+    _assert_stepped(st, "verifier")
+    report = verifier.finalize()
+    assert not report.issues
+    des = mpiexec(8, host_fabric(), main, fast_collectives=False)
+    assert _rel(res.elapsed, des.elapsed) <= TOL
+
+
+def test_fallback_fault_plan():
+    from repro.faults import FaultPlan, Straggler
+
+    def plan():
+        return FaultPlan([Straggler(rank=1, slowdown=3.0)])
+
+    st = CompileStats()
+    main = partial(_cg_like_main, 256)
+    res = compiled_mpiexec(8, host_fabric(), main, fault_plan=plan(), stats=st)
+    _assert_stepped(st, "fault plan")
+    ref = mpiexec(8, host_fabric(), main, fault_plan=plan())
+    assert res.elapsed == ref.elapsed
+    assert res.returns == ref.returns
+
+
+def test_fallback_resolver_fabric():
+    slow, quick = phi_fabric(4), host_fabric()
+
+    def resolver(src: int, dst: int):
+        return slow if 0 in (src, dst) else quick
+
+    st = CompileStats()
+    main = partial(_halo_main, 256)
+    res = compiled_mpiexec(8, resolver, main, stats=st)
+    _assert_stepped(st, "resolver")
+    ref = mpiexec(8, resolver, main)
+    assert res.elapsed == ref.elapsed
+    assert res.returns == ref.returns
+
+
+def test_fallback_caller_engine():
+    eng = Engine()
+    st = CompileStats()
+    res = compiled_mpiexec(
+        4, host_fabric(), partial(_halo_main, 256), engine=eng, stats=st
+    )
+    _assert_stepped(st, "engine")
+    assert eng.timeline() == st.engine_steps
+    assert res.completed
+
+
+def test_fallback_fast_collectives_disabled():
+    st = CompileStats()
+    compiled_mpiexec(
+        4, host_fabric(), partial(_halo_main, 256),
+        fast_collectives=False, stats=st,
+    )
+    _assert_stepped(st, "fast_collectives")
+
+
+def test_fallback_replay_error_is_transparent():
+    st = CompileStats()
+    res = compiled_mpiexec(4, host_fabric(), _engine_poke_main, stats=st)
+    _assert_stepped(st, "AttributeError")
+    assert res.returns == [0, 1, 2, 3]
+
+
+def test_mismatched_collectives_raise_configerror():
+    """The replay defers to the stepped engine, which reports the real
+    mismatch error — same type and message as plain mpiexec."""
+    with pytest.raises(ConfigError, match="mismatched collective"):
+        compiled_mpiexec(4, host_fabric(), _mismatch_main)
+
+
+def test_bad_peer_raises_configerror():
+    with pytest.raises(ConfigError, match="out of range"):
+        compiled_mpiexec(4, host_fabric(), _bad_peer_main)
+
+
+# ------------------------------------------------------- static pre-screen
+
+
+def test_static_profile_flags_dynamic_constructs():
+    from repro.analyze import rank_program_profile
+
+    assert "wildcard-source recv" in rank_program_profile(
+        _wildcard_main
+    ).veto_reasons()
+    assert "irecv" in rank_program_profile(_irecv_main).veto_reasons()
+    vetoes = rank_program_profile(_timeout_main).veto_reasons()
+    assert any("timeout" in v for v in vetoes)
+
+
+def test_static_profile_clears_static_programs():
+    from repro.analyze import rank_program_profile
+
+    for fn in (_halo_main, _cg_like_main, _isend_ring_main):
+        profile = rank_program_profile(partial(fn, 256))
+        assert not profile.unknown
+        assert not profile.veto_reasons(), fn.__name__
+
+
+def test_static_profile_unknown_source_is_not_a_veto():
+    from repro.analyze import rank_program_profile
+
+    profile = rank_program_profile(print)  # no retrievable source
+    assert profile.unknown
+    assert not profile.veto_reasons()
+
+
+# ------------------------------------------------------------- memoization
+
+
+def test_memo_cold_then_warm():
+    fabric = host_fabric()
+    main = partial(_cg_like_main, 2048)
+    cache = EvalCache()
+    st1, st2 = CompileStats(), CompileStats()
+    r1 = compiled_mpiexec(16, fabric, main, cache=cache, stats=st1)
+    r2 = compiled_mpiexec(16, fabric, main, cache=cache, stats=st2)
+    assert st1.path == "replay" and not st1.cache_hit
+    assert st2.path == "memo" and st2.cache_hit
+    assert st2.engine_steps == 0  # a warm hit steps no event at all
+    assert r2.elapsed == r1.elapsed
+    assert r2.returns == r1.returns
+    assert (r1.mode, r2.mode) == ("replay", "memo")
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_memo_key_separates_jobs():
+    fabric = host_fabric()
+    cache = EvalCache()
+    compiled_mpiexec(8, fabric, partial(_halo_main, 256), cache=cache)
+    # Different nbytes (partial arg), rank count, fabric, program: all miss.
+    for p, fab, main in (
+        (8, fabric, partial(_halo_main, 512)),
+        (16, fabric, partial(_halo_main, 256)),
+        (8, phi_fabric(2), partial(_halo_main, 256)),
+        (8, fabric, partial(_cg_like_main, 256)),
+    ):
+        st = CompileStats()
+        compiled_mpiexec(p, fab, main, cache=cache, stats=st)
+        assert st.path == "replay", (p, st.path)
+    st = CompileStats()
+    compiled_mpiexec(8, fabric, partial(_halo_main, 256), cache=cache, stats=st)
+    assert st.path == "memo"  # the original key is still warm
+
+
+def test_memo_not_consulted_for_fallback_jobs():
+    from repro.obs import Tracer
+
+    cache = EvalCache()
+    main = partial(_halo_main, 256)
+    compiled_mpiexec(8, host_fabric(), main, cache=cache)
+    st = CompileStats()
+    compiled_mpiexec(
+        8, host_fabric(), main, tracer=Tracer(), cache=cache, stats=st
+    )
+    assert st.path == "stepped" and not st.cache_hit

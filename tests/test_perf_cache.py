@@ -159,6 +159,136 @@ class TestBatchAccess:
         assert c.stats.evictions == 3
         assert len(c) == 3
 
+    def test_put_many_protects_same_batch_keys(self):
+        """Eviction under put_many prefers pre-existing keys: a batch
+        must not cannibalize its own entries while older keys remain."""
+        c = EvalCache(max_entries=4)
+        c.put("w", 0)
+        c.put("x", 1)
+        c.put_many([("a", 2), ("b", 3), ("c", 4)])
+        assert "w" not in c  # the oldest outsider went first...
+        assert "a" in c and "b" in c and "c" in c  # ...not the batch
+        assert len(c) == 4
+        assert c.stats.evictions == 1
+
+    def test_put_many_larger_than_cache_keeps_newest(self):
+        """Only when the batch alone overflows do its own oldest go."""
+        c = EvalCache(max_entries=3)
+        c.put("w", 0)
+        c.put_many([(k, i) for i, k in enumerate("abcd")])
+        assert "w" not in c and "a" not in c
+        assert c.get_many(["b", "c", "d"]) == [1, 2, 3]
+
+
+# --------------------------------------------------------------------------
+# callable fingerprints (rank programs)
+# --------------------------------------------------------------------------
+
+
+class TestCallableFingerprint:
+    """Rank-program callables fingerprint by bytecode + bound state."""
+
+    def test_same_function_stable(self):
+        def f(x):
+            return x + 1
+
+        assert fingerprint(f) == fingerprint(f)
+
+    def test_code_changes_distinguish(self):
+        def f1(x):
+            return x + 1
+
+        def f2(x):
+            return x + 2
+
+        assert fingerprint(f1) != fingerprint(f2)
+
+    def test_partial_args_distinguish(self):
+        from functools import partial
+
+        def f(a, b):
+            return a + b
+
+        assert fingerprint(partial(f, 1)) == fingerprint(partial(f, 1))
+        assert fingerprint(partial(f, 1)) != fingerprint(partial(f, 2))
+        assert fingerprint(partial(f, b=3)) != fingerprint(partial(f, b=4))
+
+    def test_closure_state_distinguishes(self):
+        def make(n):
+            def g(x):
+                return x + n
+
+            return g
+
+        assert fingerprint(make(3)) == fingerprint(make(3))
+        assert fingerprint(make(1)) != fingerprint(make(2))
+
+    def test_defaults_distinguish(self):
+        def make(default):
+            def g(x, n=default):
+                return x + n
+
+            return g
+
+        assert fingerprint(make(1)) != fingerprint(make(2))
+
+    def test_bound_methods_carry_instance_state(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Scaler:
+            factor: float
+
+            def apply(self, x):
+                return x * self.factor
+
+        assert fingerprint(Scaler(2.0).apply) == fingerprint(Scaler(2.0).apply)
+        assert fingerprint(Scaler(2.0).apply) != fingerprint(Scaler(3.0).apply)
+
+    def test_numpy_arrays_fingerprint_by_content(self):
+        np = pytest.importorskip("numpy")
+        a = np.arange(8.0)
+        b = np.arange(8.0)
+        assert fingerprint(a) == fingerprint(b)
+        b[3] = 99.0
+        assert fingerprint(a) != fingerprint(b)
+        assert fingerprint(a) != fingerprint(a.astype(np.float32))
+
+    def test_stable_across_interpreters_and_hash_seeds(self):
+        """The digest must survive hash randomization and process
+        boundaries, or MpiJob memo keys would rot between runs."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        import repro
+
+        script = textwrap.dedent(
+            """
+            from functools import partial
+            from repro.perf.cache import fingerprint
+
+            def halo(nbytes, comm):
+                right = (comm.rank + 1) % comm.size
+                yield from comm.sendrecv(right, right, nbytes=nbytes)
+
+            print(fingerprint(partial(halo, 4096)))
+            print(fingerprint({"a": 1, "b": (2.5, frozenset({"x", "y"}))}))
+            """
+        )
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        outs = []
+        for seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src_dir)
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+        assert outs[0].strip()
+
 
 # --------------------------------------------------------------------------
 # evaluator wiring
