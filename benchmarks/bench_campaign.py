@@ -1,0 +1,266 @@
+"""Campaign kill-and-resume gate: SIGKILL a run, resume it, compare.
+
+The crash-safety contract of :mod:`repro.campaign`, exercised for real —
+with an actual ``SIGKILL``, not a simulated one:
+
+1. **reference** — an uninterrupted serial ``repro campaign run`` of the
+   halo campaign (numpy-free) under its demo fault plan, writing the
+   canonical results payload;
+2. **kill** — the same campaign started fresh in a subprocess with a
+   per-point throttle, ``SIGKILL``\\ ed once enough points are journaled
+   (mid-shard, so a half-written journal line is likely);
+3. **resume** — ``repro campaign resume`` against the killed journal.
+
+Gates:
+
+* the resumed payload is **byte-identical** to the reference payload;
+* the resume re-executed **zero** journaled points
+  (``replayed == journaled_before`` and ``executed = total - replayed``);
+* at least one ``capture_failures`` death was retried under the relaxed
+  fault plan and recovered.
+
+Writes ``BENCH_campaign.json`` so CI and the nightly can gate on it::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py
+    PYTHONPATH=src python benchmarks/bench_campaign.py --quick
+
+Under pytest it runs the quick gate as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+#: Journaled points required before the kill fires.
+MIN_POINTS_BEFORE_KILL = 5
+MIN_POINTS_BEFORE_KILL_QUICK = 2
+#: Per-point throttle for the to-be-killed run; doubled on each re-try
+#: if the run finishes before the kill lands.
+THROTTLE_MS = 150.0
+KILL_ATTEMPTS = 4
+
+
+def _env() -> Dict[str, str]:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = _SRC + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _campaign_cmd(action: str, journal: str, *extra: str, quick: bool) -> List[str]:
+    cmd = [
+        sys.executable, "-m", "repro", "campaign", action, "halo",
+        "--faults", "demo", "--journal", journal, "--shard-size", "2",
+    ]
+    if quick:
+        cmd.append("--quick")
+    cmd.extend(extra)
+    return cmd
+
+
+def _journaled_points(journal: str) -> int:
+    try:
+        with open(journal, "r", encoding="utf-8") as fh:
+            return sum(1 for line in fh if '"kind":"point"' in line)
+    except FileNotFoundError:
+        return 0
+
+
+def _kill_mid_run(journal: str, quick: bool, min_points: int) -> Dict[str, Any]:
+    """Start the campaign throttled and SIGKILL it mid-run.
+
+    Returns the kill record; retries with a doubled throttle if the run
+    completes before enough points land (fast machine / slow poller).
+    """
+    throttle = THROTTLE_MS
+    for attempt in range(1, KILL_ATTEMPTS + 1):
+        if os.path.exists(journal):
+            os.unlink(journal)
+        proc = subprocess.Popen(
+            _campaign_cmd(
+                "run", journal, "--throttle-ms", str(throttle), quick=quick
+            ),
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break  # finished before the kill: retry slower
+            if _journaled_points(journal) >= min_points:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30.0)
+                return {
+                    "attempt": attempt,
+                    "throttle_ms": throttle,
+                    "journaled_at_kill": _journaled_points(journal),
+                    "killed": True,
+                }
+            time.sleep(0.01)
+        if proc.poll() is None:  # pragma: no cover - watchdog
+            proc.kill()
+            proc.wait(timeout=30.0)
+        throttle *= 2.0
+    return {"killed": False, "throttle_ms": throttle}
+
+
+def run_campaign_gate(
+    quick: bool = False, output: Optional[str] = "BENCH_campaign.json"
+) -> Dict[str, Any]:
+    """Run the full kill-and-resume scenario and write the report."""
+    min_points = MIN_POINTS_BEFORE_KILL_QUICK if quick else MIN_POINTS_BEFORE_KILL
+    report: Dict[str, Any] = {"name": "campaign", "quick": quick}
+    with tempfile.TemporaryDirectory(prefix="bench_campaign_") as tmp:
+        ref_journal = os.path.join(tmp, "ref.jsonl")
+        ref_out = os.path.join(tmp, "ref.json")
+        ref_stats = os.path.join(tmp, "ref_stats.json")
+        t0 = time.perf_counter()
+        subprocess.run(
+            _campaign_cmd(
+                "run", ref_journal, "--out", ref_out, "--stats", ref_stats,
+                quick=quick,
+            ),
+            env=_env(),
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        report["reference"] = {
+            "wall": time.perf_counter() - t0,
+            "stats": json.load(open(ref_stats)),
+        }
+
+        journal = os.path.join(tmp, "killed.jsonl")
+        report["kill"] = _kill_mid_run(journal, quick, min_points)
+
+        res_out = os.path.join(tmp, "resumed.json")
+        res_stats = os.path.join(tmp, "resumed_stats.json")
+        t0 = time.perf_counter()
+        subprocess.run(
+            _campaign_cmd(
+                "resume", journal, "--out", res_out, "--stats", res_stats,
+                quick=quick,
+            ),
+            env=_env(),
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        stats = json.load(open(res_stats))
+        report["resume"] = {"wall": time.perf_counter() - t0, "stats": stats}
+        report["gate"] = {
+            "payload_identical": (
+                open(ref_out, "rb").read() == open(res_out, "rb").read()
+            ),
+            "reexecuted_journaled_points": (
+                stats["journaled_before"] - stats["replayed"]
+            ),
+            "executed_only_remainder": (
+                stats["executed"] == stats["total"] - stats["replayed"]
+            ),
+            "retried": stats["retried"] + report["reference"]["stats"]["retried"],
+            "recovered": (
+                stats["recovered"] + report["reference"]["stats"]["recovered"]
+            ),
+        }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    return report
+
+
+def check_report(report: Dict[str, Any]) -> List[str]:
+    """The gates; returns a list of violations (empty = pass)."""
+    bad: List[str] = []
+    if not report["kill"].get("killed"):
+        bad.append("never managed to SIGKILL the run mid-campaign")
+        return bad
+    gate = report["gate"]
+    if not gate["payload_identical"]:
+        bad.append("resumed payload differs from the uninterrupted reference")
+    if gate["reexecuted_journaled_points"] != 0:
+        bad.append(
+            f"{gate['reexecuted_journaled_points']} journaled point(s) "
+            "were re-executed on resume"
+        )
+    if not gate["executed_only_remainder"]:
+        bad.append("resume executed a different point count than the remainder")
+    if gate["retried"] < 1 or gate["recovered"] < 1:
+        bad.append(
+            "no capture_failures point was retried-and-recovered under the "
+            "relaxed fault plan"
+        )
+    if report["resume"]["stats"]["failures"] != 0:
+        bad.append("resumed campaign ended with unrecovered failures")
+    return bad
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    ref, res = report["reference"]["stats"], report["resume"]["stats"]
+    kill = report["kill"]
+    lines = [
+        "campaign kill-and-resume gate (halo, demo faults)",
+        "",
+        f"  reference: {ref['total']} points, {ref['retried']} retried, "
+        f"{ref['recovered']} recovered, wall {report['reference']['wall']:.2f}s",
+        f"  killed at: {kill.get('journaled_at_kill', '?')} journaled points "
+        f"(throttle {kill.get('throttle_ms', 0):.0f} ms, "
+        f"attempt {kill.get('attempt', '?')})",
+        f"  resume:    {res['replayed']} replayed + {res['executed']} executed "
+        f"({res['journal_skipped']} damaged line(s) skipped), "
+        f"wall {report['resume']['wall']:.2f}s",
+    ]
+    for name, ok in (
+        ("payload byte-identical", report["gate"]["payload_identical"]),
+        ("zero re-executed", report["gate"]["reexecuted_journaled_points"] == 0),
+        ("retry recovered", report["gate"]["recovered"] >= 1),
+    ):
+        lines.append(f"  gate {name:<24} {'PASS' if ok else 'FAIL'}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL a campaign mid-run, resume it, gate the results."
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small grid + earlier kill (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--output", "--out", dest="output",
+        default="BENCH_campaign.json", metavar="PATH",
+        help="JSON report path ('-' to skip writing)",
+    )
+    args = parser.parse_args(argv)
+    output = None if args.output == "-" else args.output
+    report = run_campaign_gate(quick=args.quick, output=output)
+    print(render_report(report))
+    if output:
+        print(f"\nreport written to {output}")
+    bad = check_report(report)
+    for line in bad:
+        print(f"GATE FAILED: {line}")
+    return 1 if bad else 0
+
+
+def test_campaign_gate_quick(tmp_path):
+    """Smoke: the quick kill-and-resume scenario passes every gate."""
+    out = tmp_path / "BENCH_campaign.json"
+    report = run_campaign_gate(quick=True, output=str(out))
+    assert out.exists()
+    assert check_report(report) == []
+    assert report["gate"]["payload_identical"]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Point-by-point bench regression diff against committed baselines.
+
+The nightly workflow re-runs the full bench suite and hands each fresh
+``BENCH_*.json`` to this tool alongside the baseline committed in the
+repo.  A regression fails the job with a table naming exactly which
+point moved and by how much — never a bare "benchmarks failed".
+
+What is compared per report family:
+
+* **selfperf** — per-campaign wall time within budget (``3×`` the
+  baseline with a 1 s floor: CI machines are noisy, order-of-magnitude
+  blowups are not), plus exact equality of the deterministic outputs
+  (engine steps, point counts, ``identical``/``correct`` booleans).
+* **jobcompile** — every gate of ``bench_jobcompile.check_report`` on
+  the fresh report, plus per-point replay/memo wall budgets.
+* **campaign** — every kill-and-resume gate boolean, plus reference and
+  resume wall budgets.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/benchdiff.py BASELINE.json FRESH.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+#: Wall-time budget: fresh <= max(FLOOR_S, FACTOR * baseline).
+FACTOR = 3.0
+FLOOR_S = 1.0
+
+
+class Diff:
+    """Collects point-by-point violations and renders them as a table."""
+
+    def __init__(self) -> None:
+        self.rows: List[Any] = []
+
+    def wall(self, point: str, base: float, fresh: float) -> None:
+        budget = max(FLOOR_S, FACTOR * base)
+        if fresh > budget:
+            self.rows.append(
+                (point, f"{base:.3f}s", f"{fresh:.3f}s",
+                 f"wall > budget {budget:.3f}s")
+            )
+
+    def exact(self, point: str, base: Any, fresh: Any) -> None:
+        if base != fresh:
+            self.rows.append((point, repr(base), repr(fresh), "value changed"))
+
+    def gate(self, point: str, message: str) -> None:
+        self.rows.append((point, "-", "-", message))
+
+    def render(self) -> str:
+        if not self.rows:
+            return "benchdiff: all points within budget"
+        header = ("point", "baseline", "fresh", "violation")
+        w = [
+            max(len(str(r[i])) for r in self.rows + [header]) for i in range(4)
+        ]
+        lines = ["  ".join(h.ljust(w[i]) for i, h in enumerate(header))]
+        lines.append("  ".join("-" * w[i] for i in range(4)))
+        for r in self.rows:
+            lines.append("  ".join(str(r[i]).ljust(w[i]) for i in range(4)))
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# per-family comparators
+# --------------------------------------------------------------------------
+
+
+def diff_selfperf(base: Dict[str, Any], fresh: Dict[str, Any], d: Diff) -> None:
+    for name, b in base.get("campaigns", {}).items():
+        f = fresh.get("campaigns", {}).get(name)
+        if f is None:
+            d.gate(f"selfperf.{name}", "campaign missing from fresh report")
+            continue
+        for wall_key in ("wall_s", "serial_wall_s"):
+            if wall_key in b and wall_key in f:
+                d.wall(f"selfperf.{name}.{wall_key}", b[wall_key], f[wall_key])
+        for exact_key in (
+            "points", "feasible", "identical", "correct", "engine_steps",
+            "processes", "ranks",
+        ):
+            if exact_key in b:
+                d.exact(
+                    f"selfperf.{name}.{exact_key}",
+                    b[exact_key],
+                    f.get(exact_key),
+                )
+
+
+def diff_jobcompile(base: Dict[str, Any], fresh: Dict[str, Any], d: Diff) -> None:
+    try:  # package import under pytest; bare when run as a script
+        from benchmarks.bench_jobcompile import check_report
+    except ImportError:
+        from bench_jobcompile import check_report
+
+    for violation in check_report(fresh):
+        d.gate("jobcompile", violation)
+    for family in ("halo", "npb"):
+        b_points = base.get(family, {}).get("points", [])
+        f_points = fresh.get(family, {}).get("points", [])
+        if len(b_points) != len(f_points):
+            d.gate(
+                f"jobcompile.{family}",
+                f"point count changed {len(b_points)} -> {len(f_points)}",
+            )
+            continue
+        for bp, fp in zip(b_points, f_points):
+            tag = f"jobcompile.{family}[P={bp.get('ranks')}" + (
+                f",{bp['bench']}]" if "bench" in bp else "]"
+            )
+            d.exact(
+                f"{tag}.stepped.engine_steps",
+                bp["stepped"].get("engine_steps"),
+                fp["stepped"].get("engine_steps"),
+            )
+            for label in ("replay", "memo"):
+                d.wall(f"{tag}.{label}.wall", bp[label]["wall"], fp[label]["wall"])
+
+
+def diff_campaign(base: Dict[str, Any], fresh: Dict[str, Any], d: Diff) -> None:
+    try:  # package import under pytest; bare when run as a script
+        from benchmarks.bench_campaign import check_report
+    except ImportError:
+        from bench_campaign import check_report
+
+    for violation in check_report(fresh):
+        d.gate("campaign", violation)
+    for leg in ("reference", "resume"):
+        d.wall(f"campaign.{leg}.wall", base[leg]["wall"], fresh[leg]["wall"])
+        d.exact(
+            f"campaign.{leg}.stats.total",
+            base[leg]["stats"]["total"],
+            fresh[leg]["stats"]["total"],
+        )
+    d.exact(
+        "campaign.gate.payload_identical",
+        True,
+        fresh["gate"]["payload_identical"],
+    )
+
+
+_FAMILIES = {
+    "selfperf": diff_selfperf,
+    "jobcompile": diff_jobcompile,
+    "campaign": diff_campaign,
+}
+
+
+def _family_of(report: Dict[str, Any], path: str) -> str:
+    name = report.get("name")
+    if name in _FAMILIES:
+        return name
+    if "campaigns" in report:  # selfperf reports carry no name field
+        return "selfperf"
+    raise SystemExit(f"{path}: cannot identify report family")
+
+
+def diff_reports(base: Dict[str, Any], fresh: Dict[str, Any], family: str) -> Diff:
+    d = Diff()
+    _FAMILIES[family](base, fresh, d)
+    return d
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff a fresh BENCH report against its committed baseline."
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_*.json")
+    args = parser.parse_args(argv)
+    base = json.load(open(args.baseline, encoding="utf-8"))
+    fresh = json.load(open(args.fresh, encoding="utf-8"))
+    family = _family_of(base, args.baseline)
+    if _family_of(fresh, args.fresh) != family:
+        print(f"report families differ: {args.baseline} vs {args.fresh}")
+        return 2
+    d = diff_reports(base, fresh, family)
+    print(f"benchdiff [{family}]: {args.baseline} vs {args.fresh}")
+    print(d.render())
+    return 1 if d.rows else 0
+
+
+def test_benchdiff_selfperf_detects_wall_blowup():
+    base = {"campaigns": {"x": {"wall_s": 2.0, "points": 5}}}
+    slow = {"campaigns": {"x": {"wall_s": 7.0, "points": 5}}}
+    assert diff_reports(base, base, "selfperf").rows == []
+    rows = diff_reports(base, slow, "selfperf").rows
+    assert len(rows) == 1 and "budget" in rows[0][3]
+
+
+def test_benchdiff_selfperf_detects_output_change():
+    base = {"campaigns": {"x": {"wall_s": 0.1, "identical": True}}}
+    broken = {"campaigns": {"x": {"wall_s": 0.1, "identical": False}}}
+    rows = diff_reports(base, broken, "selfperf").rows
+    assert len(rows) == 1 and rows[0][3] == "value changed"
+
+
+def test_benchdiff_floor_tolerates_noise():
+    # Sub-second baselines get the 1 s floor, not 3x of nearly nothing.
+    base = {"campaigns": {"x": {"wall_s": 0.01}}}
+    noisy = {"campaigns": {"x": {"wall_s": 0.9}}}
+    assert diff_reports(base, noisy, "selfperf").rows == []
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

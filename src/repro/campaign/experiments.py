@@ -1,0 +1,213 @@
+"""Built-in campaign experiments for the ``repro campaign`` CLI and CI.
+
+Point functions live at module level (``partial`` for fixed arguments)
+so they pickle into pool workers *and* fingerprint stably across
+interpreter runs — both requirements of
+:class:`~repro.campaign.spec.CampaignSpec`.
+
+* ``fig22`` — the OVERFLOW decomposition campaign behind Figure 22:
+  every feasible (device, I, J) lattice point of a DLRF6 case.  Under
+  the demo fault plan, memory pressure shrinks the Phi card below the
+  case footprint, so every Phi point dies on its first attempt and
+  recovers when the retry policy relaxes the plan — the CI
+  kill-and-resume gate's ``capture_failures``-retry scenario.  Needs
+  numpy (the dataset layer).
+
+* ``halo`` — a pure-python ring-exchange campaign over (ranks, nbytes):
+  each point simulates an I-rank halo ring through the DES engine.
+  Works without numpy; under the demo plan a scheduled rank crash kills
+  the longer exchanges mid-ring and the retry policy's relaxation (the
+  one-shot crash is dropped) recovers them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache, partial
+from typing import Any, List, Optional, Tuple
+
+from repro.campaign.retry import RetryPolicy
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, MemoryPressure, RankCrash
+from repro.units import GiB, KiB
+
+__all__ = ["EXPERIMENTS", "build_spec", "demo_plan"]
+
+#: Device capacities the fig22 fault check prices against (Table 1).
+_HOST_MEMORY = 32 * GiB
+_PHI_MEMORY = 8 * GiB
+
+
+# ==========================================================================
+# fig22: the OVERFLOW decomposition lattice
+# ==========================================================================
+
+
+@lru_cache(maxsize=4)
+def _overflow_model(grid_name: str):
+    from repro.apps import OverflowModel, dataset
+
+    return OverflowModel(dataset(grid_name))
+
+
+def fig22_points(quick: bool = False) -> List[Tuple[str, int, int]]:
+    """The (device, I, J) grid; ``quick`` keeps the paper's nine points."""
+    if quick:
+        host = [(16, 1), (8, 2), (4, 4), (2, 8), (1, 16)]
+        phi = [(4, 14), (4, 28), (8, 14), (8, 28)]
+    else:
+        host = [
+            (i, j)
+            for i in (1, 2, 4, 8, 16)
+            for j in (1, 2, 4, 8, 16)
+            if i * j <= 32
+        ]
+        phi = [
+            (i, j)
+            for i in (2, 4, 8, 16, 32, 59)
+            for j in (1, 2, 4, 7, 14, 28)
+            if i * j <= 236
+        ]
+    return [("host", i, j) for i, j in host] + [("phi0", i, j) for i, j in phi]
+
+
+def fig22_point(
+    grid_name: str, point: Tuple[str, int, int], fault_plan: Optional[FaultPlan]
+) -> Any:
+    """Price one Fig-22 decomposition, honouring an active fault plan.
+
+    Memory-pressure faults check the case footprint against the
+    (pressured) device capacity before pricing — the same check the
+    alltoall sweeps use — so a pressured card raises
+    :class:`~repro.errors.OutOfMemoryError` exactly as the real machine
+    would refuse the allocation.  Stragglers scale the step time by the
+    plan's compute factor for rank 0 at t=0 (the decomposition's
+    critical path).
+    """
+    from repro.machine.node import Device
+
+    device_str, i, j = point
+    device = Device(device_str)
+    model = _overflow_model(grid_name)
+    if fault_plan is not None:
+        base = _HOST_MEMORY if device is Device.HOST else _PHI_MEMORY
+        fault_plan.check_footprint(
+            model.grid.footprint,
+            base,
+            what=f"overflow[{grid_name}] {i}x{j} on {device_str}",
+        )
+    m = model.native_step(device, i, j)
+    if fault_plan is not None:
+        factor = fault_plan.compute_factor(0, 0.0)
+        if factor != 1.0:
+            from repro.core.results import Measurement
+
+            m = Measurement(m.name, m.time * factor, m.unit, m.gflops, m.config)
+    return m
+
+
+# ==========================================================================
+# halo: pure-python ring exchange
+# ==========================================================================
+
+
+def halo_points(quick: bool = False) -> List[Tuple[int, int]]:
+    """(ranks, nbytes) grid for the ring-exchange campaign."""
+    ranks = (2, 4, 8) if quick else (2, 4, 8, 16, 32)
+    sizes = (1 * KiB, 64 * KiB) if quick else (1 * KiB, 16 * KiB, 256 * KiB)
+    return [(r, n) for r in ranks for n in sizes]
+
+
+def _halo_main(nbytes: int, comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    yield from comm.sendrecv(right, left, nbytes=nbytes)
+    yield from comm.sendrecv(left, right, nbytes=nbytes)
+    yield from comm.barrier()
+
+
+def halo_point(
+    fabric_name: str,
+    tpc: int,
+    point: Tuple[int, int],
+    fault_plan: Optional[FaultPlan],
+) -> Any:
+    """Simulate one halo ring through the DES engine (fault plan armed)."""
+    from repro.core.results import Measurement
+    from repro.mpi.fabrics import host_fabric, phi_fabric
+    from repro.mpi.runtime import mpiexec
+
+    ranks, nbytes = point
+    fabric = host_fabric() if fabric_name == "host" else phi_fabric(tpc)
+    res = mpiexec(
+        ranks,
+        fabric,
+        partial(_halo_main, nbytes),
+        fault_plan=fault_plan,
+        fast_collectives=False,
+    )
+    return Measurement(
+        name="halo-ring",
+        time=res.elapsed,
+        config={"ranks": ranks, "nbytes": nbytes},
+    )
+
+
+# ==========================================================================
+# Registry
+# ==========================================================================
+
+
+def demo_plan(experiment: str) -> FaultPlan:
+    """The demo fault plan each experiment recovers from via retries."""
+    if experiment == "fig22":
+        # 0.4 * 8 GiB = 3.2 GiB < the ~4 GiB DLRF6-Medium footprint: every
+        # Phi point OOMs on attempt 1; relaxation drops the pressure and
+        # attempt 2 prices the healthy step.  The host (0.4 * 32 GiB)
+        # stays feasible throughout.
+        return FaultPlan(
+            [MemoryPressure(capacity_factor=0.4, label="demo-pressure")]
+        )
+    if experiment == "halo":
+        # Kill rank 1 early in the exchange: the affected points die with
+        # a FaultError on attempt 1; relaxation drops the one-shot crash
+        # and attempt 2 completes the healthy ring.
+        return FaultPlan([RankCrash(rank=1, at=2e-6, label="demo-crash")])
+    raise ConfigError(f"no demo plan for experiment {experiment!r}")
+
+
+def build_spec(
+    experiment: str,
+    quick: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    grid_name: str = "DLRF6-Medium",
+    fabric: str = "host",
+    tpc: int = 3,
+) -> CampaignSpec:
+    """Build one of the registered campaign specs by name."""
+    if retry is None:
+        retry = RetryPolicy()
+    if experiment == "fig22":
+        return CampaignSpec(
+            name=f"fig22[{grid_name}]",
+            point_fn=partial(fig22_point, grid_name),
+            points=fig22_points(quick),
+            fault_plan=fault_plan,
+            retry=retry,
+        )
+    if experiment == "halo":
+        return CampaignSpec(
+            name=f"halo[{fabric}]",
+            point_fn=partial(halo_point, fabric, tpc),
+            points=halo_points(quick),
+            fault_plan=fault_plan,
+            retry=retry,
+        )
+    raise ConfigError(
+        f"unknown campaign experiment {experiment!r} (have {sorted(EXPERIMENTS)})"
+    )
+
+
+#: Experiment names the CLI accepts.
+EXPERIMENTS = ("fig22", "halo")

@@ -1,0 +1,310 @@
+"""Append-only campaign journal: the on-disk checkpoint store.
+
+One JSON record per line.  The first well-formed line is the *header*
+(campaign name, spec fingerprint, total point count); every following
+line is one completed point keyed by the
+:func:`~repro.perf.cache.fingerprint` of (campaign spec, point).  Each
+record carries a truncated SHA-256 of its own canonical form, so a line
+that was half-written when the process died — or corrupted afterwards —
+is detected and *skipped with a warning* on resume instead of crashing
+it.
+
+Durability: every append is flushed and (by default) ``fsync``\\ ed, so a
+``SIGKILL`` loses at most the points that were still in flight — never a
+point that was reported complete.
+
+The payload codec (:func:`encode_result` / :func:`decode_result`) round-
+trips :class:`~repro.core.results.Measurement`,
+:class:`~repro.core.results.Failure` and ``None`` (infeasible-skipped)
+exactly: floats survive via JSON's shortest-round-trip representation,
+and tuple coordinates are restored on decode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.results import Failure, Measurement
+from repro.errors import ConfigError
+
+__all__ = [
+    "Journal",
+    "JournalEntry",
+    "JournalReadResult",
+    "decode_result",
+    "encode_result",
+]
+
+#: Journal format version; bumped on incompatible record changes.
+VERSION = 1
+#: Hex digits of SHA-256 kept per record (collision-safe for integrity).
+_SHA_LEN = 16
+
+#: Entry statuses: a priced point, a captured death, an infeasible skip.
+STATUSES = ("ok", "failure", "infeasible")
+
+
+# ==========================================================================
+# Result payload codec
+# ==========================================================================
+
+
+def _detuple(obj: Any) -> Any:
+    """Recursively turn JSON lists back into tuples (point coordinates)."""
+    if isinstance(obj, list):
+        return tuple(_detuple(x) for x in obj)
+    return obj
+
+
+def encode_result(value: Any) -> Dict[str, Any]:
+    """Encode a point result (Measurement / Failure / ``None``) as JSON."""
+    if value is None:
+        return {"type": "infeasible"}
+    if isinstance(value, Measurement):
+        return {
+            "type": "measurement",
+            "name": value.name,
+            "time": value.time,
+            "unit": value.unit,
+            "gflops": value.gflops,
+            "config": value.config,
+        }
+    if isinstance(value, Failure):
+        return {
+            "type": "failure",
+            "point": value.point,
+            "error": value.error,
+            "message": value.message,
+            "when": value.when,
+        }
+    raise ConfigError(f"cannot journal result of type {type(value).__name__}")
+
+
+def decode_result(payload: Dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_result`."""
+    kind = payload.get("type")
+    if kind == "infeasible":
+        return None
+    if kind == "measurement":
+        return Measurement(
+            name=payload["name"],
+            time=payload["time"],
+            unit=payload["unit"],
+            gflops=payload["gflops"],
+            config=dict(payload["config"]),
+        )
+    if kind == "failure":
+        return Failure(
+            point=_detuple(payload["point"]),
+            error=payload["error"],
+            message=payload["message"],
+            when=payload["when"],
+        )
+    raise ConfigError(f"unknown journal payload type {kind!r}")
+
+
+# ==========================================================================
+# Records
+# ==========================================================================
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled point: key, grid index, status, payload, retry info."""
+
+    key: str
+    index: int
+    status: str  # one of STATUSES
+    payload: Dict[str, Any]
+    attempts: int = 1
+    relaxation: int = 0  # fault-plan relaxation level that produced the result
+
+    def result(self) -> Any:
+        """The decoded Measurement / Failure / ``None``."""
+        return decode_result(self.payload)
+
+
+@dataclass
+class JournalReadResult:
+    """What :meth:`Journal.read` recovered from disk."""
+
+    header: Optional[Dict[str, Any]] = None
+    entries: List[JournalEntry] = field(default_factory=list)
+    skipped: int = 0  # corrupt / truncated / unknown lines dropped
+
+    def by_key(self) -> Dict[str, JournalEntry]:
+        """First-write-wins map of journaled points by cache key."""
+        out: Dict[str, JournalEntry] = {}
+        for e in self.entries:
+            out.setdefault(e.key, e)
+        return out
+
+
+def _record_sha(record: Dict[str, Any]) -> str:
+    canon = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:_SHA_LEN]
+
+
+def _seal(record: Dict[str, Any]) -> str:
+    """Serialize ``record`` with its integrity digest attached."""
+    record = dict(record)
+    record["sha"] = _record_sha(record)
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _unseal(line: str) -> Optional[Dict[str, Any]]:
+    """Parse and verify one journal line; ``None`` if damaged."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    sha = record.pop("sha", None)
+    if sha != _record_sha(record):
+        return None
+    return record
+
+
+# ==========================================================================
+# The journal
+# ==========================================================================
+
+
+class Journal:
+    """Append-only JSONL checkpoint store for one campaign.
+
+    ``fsync=True`` (the default) makes every append durable against
+    ``SIGKILL``; ``fsync=False`` trades that for throughput on grids
+    whose points are cheaper than a disk flush.
+    """
+
+    def __init__(self, path: str, fsync: bool = True):
+        self.path = path
+        self.fsync = fsync
+        self._fh: Optional[Any] = None
+
+    # ------------------------------------------------------------- writing
+
+    def _handle(self):
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        fh = self._handle()
+        fh.write(_seal(record) + "\n")
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+
+    def write_header(
+        self,
+        campaign: str,
+        name: str,
+        total: Optional[int] = None,
+    ) -> None:
+        """Open the journal with the campaign's identity record."""
+        self._append(
+            {
+                "kind": "header",
+                "version": VERSION,
+                "campaign": campaign,
+                "name": name,
+                "total": total,
+            }
+        )
+
+    def append_point(self, entry: JournalEntry) -> None:
+        """Durably record one completed point."""
+        if entry.status not in STATUSES:
+            raise ConfigError(f"unknown journal status {entry.status!r}")
+        self._append(
+            {
+                "kind": "point",
+                "key": entry.key,
+                "index": entry.index,
+                "status": entry.status,
+                "payload": entry.payload,
+                "attempts": entry.attempts,
+                "relaxation": entry.relaxation,
+            }
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- reading
+
+    @classmethod
+    def read(cls, path: str) -> JournalReadResult:
+        """Recover everything readable from a journal file.
+
+        Damaged lines — truncated by a kill mid-write, corrupted on
+        disk, or simply not journal records — are counted and skipped
+        with a single :class:`UserWarning`; the surviving entries are
+        returned in file order.  A missing file reads as empty.
+        """
+        out = JournalReadResult()
+        if not os.path.exists(path):
+            return out
+        bad_reasons: List[str] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = _unseal(line)
+                if record is None:
+                    out.skipped += 1
+                    bad_reasons.append(f"line {lineno}: corrupt or truncated")
+                    continue
+                kind = record.get("kind")
+                if kind == "header":
+                    if out.header is None:
+                        out.header = record
+                    continue
+                if kind != "point":
+                    out.skipped += 1
+                    bad_reasons.append(f"line {lineno}: unknown kind {kind!r}")
+                    continue
+                try:
+                    entry = JournalEntry(
+                        key=record["key"],
+                        index=record["index"],
+                        status=record["status"],
+                        payload=record["payload"],
+                        attempts=record.get("attempts", 1),
+                        relaxation=record.get("relaxation", 0),
+                    )
+                    if entry.status not in STATUSES:
+                        raise KeyError(entry.status)
+                    entry.result()  # validate the payload decodes
+                except (KeyError, TypeError, ConfigError):
+                    out.skipped += 1
+                    bad_reasons.append(f"line {lineno}: malformed point record")
+                    continue
+                out.entries.append(entry)
+        if out.skipped:
+            warnings.warn(
+                f"campaign journal {path!r}: skipped {out.skipped} damaged "
+                f"record(s) ({'; '.join(bad_reasons[:3])}"
+                f"{'; ...' if len(bad_reasons) > 3 else ''}); resuming from "
+                f"the {len(out.entries)} intact point(s)",
+                UserWarning,
+                stacklevel=2,
+            )
+        return out

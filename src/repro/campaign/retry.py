@@ -1,0 +1,69 @@
+"""Retry policy for campaign points that die under a fault plan.
+
+The simulator is deterministic: re-running the *same* point under the
+*same* fault plan reproduces the same death.  A retry is therefore only
+useful when it changes the conditions — which is exactly what
+:meth:`~repro.faults.plan.FaultPlan.relaxed` provides: each attempt
+``k > 1`` re-prices the point under ``plan.relaxed(k - 1)``, a
+progressively healthier plan (memory pressure and one-shot crashes are
+dropped at the first relaxation; link and straggler severities take
+geometric roots toward 1).  Attempts are bounded and spaced by an
+exponential wall-clock backoff, and the attempt count plus the
+relaxation level that finally produced the result are journaled with the
+point, so a resumed campaign replays retried points exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.plan import FaultPlan
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, fault-plan-relaxing retries for ``capture_failures`` points.
+
+    ``max_attempts`` counts the first try: ``1`` disables retries.
+    ``backoff_s`` is the wall-clock pause before attempt 2, growing by
+    ``backoff_factor`` per further attempt and capped at
+    ``max_backoff_s``.  ``relax_faults=False`` keeps the original plan
+    on every attempt (useful only against nondeterministic external
+    pools; pointless inside the deterministic simulator, and the runner
+    short-circuits it).
+    """
+
+    max_attempts: int = 2
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 5.0
+    relax_faults: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Wall seconds to sleep before ``attempt`` (2-based)."""
+        if attempt <= 1 or self.backoff_s == 0.0:
+            return 0.0
+        pause = self.backoff_s * self.backoff_factor ** (attempt - 2)
+        return min(pause, self.max_backoff_s)
+
+    def plan_for_attempt(
+        self, plan: Optional["FaultPlan"], attempt: int
+    ) -> Optional["FaultPlan"]:
+        """The fault plan attempt ``attempt`` (1-based) runs under."""
+        if plan is None or attempt <= 1 or not self.relax_faults:
+            return plan
+        return plan.relaxed(attempt - 1)

@@ -15,6 +15,10 @@ Commands
                       (``repro check allreduce --dynamic``).
 ``compile``           Whole-job compilation: stepped vs max-plus replay vs
                       warm memoization (``repro compile halo --ranks 1024``).
+``campaign``          Distributed, resumable campaign execution
+                      (``repro campaign run fig22 --journal j.jsonl``;
+                      ``resume`` continues a killed run, ``status`` reads
+                      the journal without executing anything).
 
 The heavy per-figure assertions live in ``benchmarks/``; the CLI renders
 the same data for interactive exploration.
@@ -855,6 +859,93 @@ def _cmd_compile(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_campaign(args) -> int:
+    from repro.campaign import Journal, RetryPolicy, run_campaign
+    from repro.campaign.experiments import EXPERIMENTS, build_spec, demo_plan
+    from repro.faults import FaultPlan
+
+    if args.action == "status":
+        read = Journal.read(args.journal)
+        if read.header is None and not read.entries:
+            _print(f"{args.journal}: no journal (campaign never started)")
+            return 1
+        by_key = read.by_key()
+        counts = {"ok": 0, "failure": 0, "infeasible": 0}
+        retried = 0
+        for entry in by_key.values():
+            counts[entry.status] += 1
+            if entry.attempts > 1:
+                retried += 1
+        header = read.header or {}
+        total = header.get("total")
+        _print(f"journal:   {args.journal}")
+        _print(f"campaign:  {header.get('name', '?')} "
+               f"({header.get('campaign', 'missing header')})")
+        done = len(by_key)
+        progress = f"{done}/{total}" if total is not None else str(done)
+        _print(f"points:    {progress} journaled "
+               f"(ok={counts['ok']} failure={counts['failure']} "
+               f"infeasible={counts['infeasible']} retried={retried})")
+        if read.skipped:
+            _print(f"damaged:   {read.skipped} line(s) skipped")
+        if total is not None and done >= total:
+            _print("state:     complete")
+        else:
+            _print("state:     resumable (repro campaign resume ...)")
+        return 0
+
+    if args.experiment is None:
+        _print(f"campaign {args.action} needs an experiment "
+               f"({', '.join(EXPERIMENTS)})")
+        return 2
+    plan = None
+    if args.faults == "demo":
+        plan = demo_plan(args.experiment)
+    elif args.faults:
+        plan = FaultPlan.from_file(args.faults)
+    spec = build_spec(
+        args.experiment,
+        quick=args.quick,
+        fault_plan=plan,
+        retry=RetryPolicy(max_attempts=args.retries),
+        grid_name=args.grid,
+        fabric=args.fabric,
+        tpc=args.tpc,
+    )
+
+    def on_shard(shard_set, stats) -> None:
+        _print(
+            f"  shard landed: +{len(shard_set)} ok "
+            f"+{len(shard_set.failures)} failed "
+            f"({stats.executed} executed, {stats.retried} retried)"
+        )
+
+    run = run_campaign(
+        spec,
+        args.journal,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        resume=True if args.action == "resume" else None,
+        on_shard=on_shard,
+        throttle_s=args.throttle_ms / 1000.0,
+    )
+    s = run.stats
+    _print(render_table(
+        ("stat", "value"),
+        [(k, str(v)) for k, v in s.as_dict().items()],
+        title=f"campaign {spec.name} ({run.spec_fingerprint[:16]})",
+    ))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(run.results_payload(), fh, indent=2, sort_keys=True)
+        _print(f"results written to {args.out}")
+    if args.stats:
+        with open(args.stats, "w", encoding="utf-8") as fh:
+            json.dump(s.as_dict(), fh, indent=2, sort_keys=True)
+        _print(f"stats written to {args.stats}")
+    return 0
+
+
 # --------------------------------------------------------------------------
 # entry point
 # --------------------------------------------------------------------------
@@ -995,6 +1086,63 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="threads/core for the phi fabric",
     )
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="distributed, resumable campaign execution over a journal",
+    )
+    p_campaign.add_argument("action", choices=("run", "resume", "status"))
+    p_campaign.add_argument(
+        "experiment", nargs="?", default=None,
+        help="campaign to execute (fig22, halo); not needed for status",
+    )
+    p_campaign.add_argument(
+        "--journal", default="campaign.jsonl", metavar="PATH",
+        help="append-only checkpoint journal (default campaign.jsonl)",
+    )
+    p_campaign.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool workers (default: serial)",
+    )
+    p_campaign.add_argument(
+        "--shard-size", type=int, default=4, metavar="K",
+        help="points per work unit (default 4)",
+    )
+    p_campaign.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the canonical results payload as JSON",
+    )
+    p_campaign.add_argument(
+        "--stats", default=None, metavar="PATH",
+        help="write the run stats as JSON",
+    )
+    p_campaign.add_argument(
+        "--throttle-ms", type=float, default=0.0, metavar="MS",
+        help="sleep per point (execution pacing for kill tests; "
+        "never affects results)",
+    )
+    p_campaign.add_argument(
+        "--faults", default=None, metavar="demo|FILE",
+        help="fault plan: 'demo' for the experiment's built-in plan, "
+        "or a JSON plan file",
+    )
+    p_campaign.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="max attempts per failing point (default 2); retries run "
+        "under a progressively relaxed fault plan",
+    )
+    p_campaign.add_argument(
+        "--quick", action="store_true", help="small grids (CI smoke mode)"
+    )
+    p_campaign.add_argument(
+        "--grid", default="DLRF6-Medium", metavar="NAME",
+        help="OVERFLOW dataset for fig22 (default DLRF6-Medium)",
+    )
+    p_campaign.add_argument("--fabric", default="host", choices=("host", "phi"))
+    p_campaign.add_argument(
+        "--tpc", type=int, default=3, choices=(1, 2, 3, 4),
+        help="threads/core for the phi fabric (halo experiment)",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "table1":
         _fig_table1()
@@ -1036,6 +1184,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_check(args)
     if args.command == "compile":
         return _cmd_compile(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return 2  # pragma: no cover
 
 

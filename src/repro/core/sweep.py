@@ -10,6 +10,12 @@ via :mod:`repro.perf.parallel` with identical results in identical
 order.  Infeasible points are recognised *only* by the simulator's own
 error types (:data:`INFEASIBLE_ERRORS`) — anything else is a genuine
 bug and propagates, even from pool workers.
+
+Every sweep also accepts ``checkpoint=``, a
+:class:`~repro.campaign.checkpoint.SweepCheckpoint`: each priced point
+is durably journaled as it lands, and re-running the same sweep against
+the same checkpoint replays journaled points instead of re-pricing them
+— the campaign runner's resume semantics, scaled down to one sweep call.
 """
 
 from __future__ import annotations
@@ -121,6 +127,7 @@ def grid_sweep(
     trace: Optional[Tracer] = None,
     trace_name: str = "grid",
     capture_failures: bool = False,
+    checkpoint: Optional[Any] = None,
 ) -> ResultSet:
     """Price ``run_fn`` over ``points`` (tuples are splatted as arguments).
 
@@ -133,12 +140,37 @@ def grid_sweep(
     a point raises — injected faults, timeouts, OOMs — into a
     :class:`~repro.core.results.Failure` on the result set instead of
     aborting the campaign: the remaining points still run.
+
+    ``checkpoint`` (a :class:`~repro.campaign.checkpoint.SweepCheckpoint`)
+    replays points journaled by an earlier run of the same sweep and
+    durably records every freshly priced point, so a killed sweep can be
+    re-run without re-pricing what already landed.
     """
-    priced = parallel_map(
-        partial(_price_point, run_fn, skip_infeasible, capture_failures),
-        list(points),
-        workers=workers,
-    )
+    points = list(points)
+    if checkpoint is not None:
+        replayed: dict = {}
+        pending: List[Tuple[int, Any]] = []
+        for idx, point in enumerate(points):
+            hit, value = checkpoint.lookup(point)
+            if hit:
+                replayed[idx] = value
+            else:
+                pending.append((idx, point))
+        fresh = parallel_map(
+            partial(_price_point, run_fn, skip_infeasible, capture_failures),
+            [p for _, p in pending],
+            workers=workers,
+        )
+        for (idx, point), value in zip(pending, fresh):
+            checkpoint.record(point, value)
+            replayed[idx] = value
+        priced = [replayed[idx] for idx in range(len(points))]
+    else:
+        priced = parallel_map(
+            partial(_price_point, run_fn, skip_infeasible, capture_failures),
+            points,
+            workers=workers,
+        )
     results = ResultSet(
         (m for m in priced if isinstance(m, Measurement)),
         failures=(f for f in priced if isinstance(f, Failure)),
@@ -165,6 +197,7 @@ def thread_sweep(
     trace: Optional[Tracer] = None,
     batch: Optional[bool] = None,
     capture_failures: bool = False,
+    checkpoint: Optional[Any] = None,
 ) -> ResultSet:
     """Native runs over a list of thread counts (Figs 19/21/25 x-axis).
 
@@ -175,14 +208,15 @@ def thread_sweep(
     per-point path; ``batch=True`` demands batching even under
     ``workers`` (the batch is already one array pass, so pooling it
     adds nothing).  ``capture_failures`` needs the per-point exception
-    objects and therefore routes through the scalar path.
+    objects and therefore routes through the scalar path, as does
+    ``checkpoint`` (points must journal individually to resume).
     """
     counts = list(thread_counts)
     use_batch = (
         batch
         if batch is not None
         else _HAVE_NUMPY and (workers is None or workers <= 1)
-    ) and not capture_failures
+    ) and not capture_failures and checkpoint is None
     if use_batch:
         priced = evaluator.native_batch(dev, kernel, counts)
         if not skip_infeasible:
@@ -213,6 +247,7 @@ def thread_sweep(
         trace=trace,
         trace_name=f"threads.{kernel.name}",
         capture_failures=capture_failures,
+        checkpoint=checkpoint,
     )
 
 
@@ -229,6 +264,7 @@ def decomposition_sweep(
     workers: Optional[int] = None,
     trace: Optional[Tracer] = None,
     capture_failures: bool = False,
+    checkpoint: Optional[Any] = None,
 ) -> ResultSet:
     """(I MPI ranks × J OpenMP threads) sweep (Fig 22's x-axis).
 
@@ -247,6 +283,7 @@ def decomposition_sweep(
         trace=trace,
         trace_name="decomposition",
         capture_failures=capture_failures,
+        checkpoint=checkpoint,
     )
 
 

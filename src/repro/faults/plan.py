@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from fnmatch import fnmatch
 from typing import Any, Dict, Iterable, List, Optional, Union
 
@@ -322,6 +322,48 @@ class FaultPlan:
         """Stable digest of the plan (mixed into evaluation cache keys)."""
         blob = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    # to_dict-based equality makes plans unhashable by default; identity
+    # hashing keeps them usable as ephemeral dict keys.
+    __hash__ = object.__hash__
+
+    # -------------------------------------------------------- relaxation
+
+    def relaxed(self, steps: int = 1) -> "FaultPlan":
+        """A progressively healthier copy of this plan (retry policy).
+
+        Each relaxation step takes the square root of every link and
+        straggler severity (halving its log-distance from healthy), so
+        repeated relaxation converges geometrically on the fault-free
+        plan.  Memory pressure and rank crashes are dropped outright at
+        the first step: a pressured allocation either fits or it does
+        not, and a crash already consumed its one scheduled kill — both
+        only block a retry, never inform it.  ``relaxed(0)`` is ``self``.
+        """
+        if steps <= 0:
+            return self
+        root = 0.5**steps
+        faults: List[Fault] = []
+        for f in self.faults:
+            if isinstance(f, LinkDegradation):
+                faults.append(
+                    replace(
+                        f,
+                        latency_factor=f.latency_factor**root,
+                        bandwidth_factor=f.bandwidth_factor**root,
+                        disable_scif=False,
+                    )
+                )
+            elif isinstance(f, Straggler):
+                slowdown = max(1.0, f.slowdown**root)
+                if slowdown > 1.0:
+                    faults.append(replace(f, slowdown=slowdown))
+        return FaultPlan(faults, device_memory=self.device_memory)
 
     def describe(self) -> str:
         """One line per fault, for CLI output."""

@@ -14,6 +14,12 @@ enters the key, so two independently built but identical machine specs
 share cache entries — and any change to the machine spec (a different
 node, software stack, or preset parameter) changes the fingerprint and
 invalidates the cached points naturally.
+
+The same fingerprints scale from single evaluations to whole campaigns:
+:mod:`repro.campaign` fingerprints (campaign spec, point) pairs with
+this module's :func:`fingerprint` to key its on-disk journal, and
+:meth:`EvalCache.warm` replays a journal back into a cache so resumed
+campaigns dedupe in-flight points against prior runs.
 """
 
 from __future__ import annotations
@@ -303,6 +309,27 @@ class EvalCache:
                 victim = next(iter(self._data))
             del self._data[victim]
             self.stats.evictions += 1
+
+    def warm(self, pairs: Iterable[Tuple[str, Any]]) -> int:
+        """Preload entries without touching the hit/miss counters.
+
+        The campaign runner's journal-replay path: resumed points enter
+        the cache as prior state, not as this run's traffic, so
+        :attr:`stats` keeps meaning "what did *this* run compute vs
+        reuse".  Returns the number of keys that were actually new.
+        Bounded caches still evict LRU entries as usual.
+        """
+        fresh = 0
+        for key, value in pairs:
+            if key not in self._data:
+                fresh += 1
+            self._data[key] = value
+            self._data.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+        return fresh
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing and storing on miss.

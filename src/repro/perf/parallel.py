@@ -18,9 +18,10 @@ Design points:
 * Work is submitted in chunks to amortise IPC for microsecond-scale
   model evaluations.
 * If the point function or an argument cannot be pickled, or the host
-  cannot spawn processes at all (sandboxes), execution silently falls
-  back to the serial path — same results, no speedup — rather than
-  failing the sweep.
+  cannot spawn processes at all (sandboxes), execution falls back to
+  the serial path — same results, no speedup — rather than failing the
+  sweep.  The fallback emits one :class:`RuntimeWarning` naming the
+  cause, so CI logs show when parallelism was quietly disabled.
 * Exceptions raised by a point propagate to the caller in both modes;
   infeasible-point *skipping* is the sweep layer's job
   (:mod:`repro.core.sweep`), and it only skips the simulator's own
@@ -32,13 +33,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["default_workers", "parallel_map", "parallel_tasks"]
+__all__ = ["default_workers", "make_pool", "parallel_map", "parallel_tasks"]
 
 
 def default_workers() -> int:
@@ -57,13 +59,41 @@ def _mp_context():
     return multiprocessing.get_context()
 
 
-def _picklable(*objects: Any) -> bool:
-    try:
-        for obj in objects:
+def _pickle_problem(*objects: Any) -> Optional[str]:
+    """``None`` when everything pickles; else a message naming the culprit."""
+    for obj in objects:
+        try:
             pickle.dumps(obj)
-        return True
-    except Exception:
-        return False
+        except Exception as exc:
+            return f"cannot pickle {obj!r}: {type(exc).__name__}: {exc}"
+    return None
+
+
+def _warn_serial_fallback(cause: str) -> None:
+    """One warning per fallback event, naming the cause.
+
+    Parallelism quietly degrading to serial used to be invisible — a
+    sweep just ran N× slower.  The warning makes the degradation show up
+    in CI logs and ``-W error`` runs without changing any result.
+    """
+    warnings.warn(
+        f"parallel execution disabled, running serially: {cause}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def make_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+    """A process pool, or ``None`` (with a warning) when the host refuses.
+
+    The campaign shard executor and ``parallel_map`` share this one
+    spawn path so every silent-serial degradation warns identically.
+    """
+    try:
+        return ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
+    except (OSError, PermissionError, NotImplementedError) as exc:
+        _warn_serial_fallback(f"process pool unavailable: {type(exc).__name__}: {exc}")
+        return None
 
 
 def _chunksize(n_items: int, workers: int) -> int:
@@ -86,7 +116,9 @@ def parallel_map(
     items = list(items)
     if workers is None or workers <= 1 or len(items) <= 1:
         return [fn(x) for x in items]
-    if not _picklable(fn, items):
+    problem = _pickle_problem(fn, items)
+    if problem is not None:
+        _warn_serial_fallback(problem)
         return [fn(x) for x in items]
     n_workers = min(workers, len(items))
     try:
@@ -95,8 +127,11 @@ def parallel_map(
         ) as pool:
             size = chunksize or _chunksize(len(items), n_workers)
             return list(pool.map(fn, items, chunksize=size))
-    except (OSError, PermissionError, NotImplementedError):
+    except (OSError, PermissionError, NotImplementedError) as exc:
         # Hosts that forbid subprocess/semaphore creation: degrade to serial.
+        _warn_serial_fallback(
+            f"process pool unavailable: {type(exc).__name__}: {exc}"
+        )
         return [fn(x) for x in items]
 
 

@@ -1,0 +1,202 @@
+"""Tests for the campaign journal: codec exactness, durability, damage.
+
+The journal is the campaign's crash-safety story, so the load-bearing
+properties are (a) results round-trip the codec *exactly* — floats,
+tuples, None — and (b) a journal mangled by a mid-write kill or on-disk
+corruption is read back minus the damaged lines, with a warning, never
+an exception.  Everything here is numpy-free.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.journal import (
+    Journal,
+    JournalEntry,
+    decode_result,
+    encode_result,
+)
+from repro.core.results import Failure, Measurement
+from repro.errors import ConfigError
+
+
+# --------------------------------------------------------------------------
+# codec
+# --------------------------------------------------------------------------
+
+
+class TestResultCodec:
+    def test_measurement_roundtrip_is_exact(self):
+        m = Measurement(
+            name="alltoall",
+            time=1.2345678901234567e-5,  # full double precision
+            unit="call",
+            gflops=0.1 + 0.2,  # famously not 0.3
+            config={"nbytes": 4096, "device": "phi0"},
+        )
+        out = decode_result(encode_result(m))
+        assert out == m
+        assert out.time == m.time  # bit-exact, not approx
+        assert out.gflops == m.gflops
+
+    def test_failure_roundtrip_restores_tuple_point(self):
+        f = Failure(
+            point=("phi0", 8, 28),
+            error="OutOfMemoryError",
+            message="needs 10.0 GiB, have 3.2 GiB",
+            when=1.5e-6,
+        )
+        out = decode_result(encode_result(f))
+        assert out == f
+        assert out.point == ("phi0", 8, 28)
+        assert isinstance(out.point, tuple)
+
+    def test_infeasible_roundtrip(self):
+        assert decode_result(encode_result(None)) is None
+
+    def test_codec_survives_json_serialization(self):
+        # The journal stores the encoded payload as JSON text; the round
+        # trip through an actual dump/load must stay exact too.
+        m = Measurement(name="x", time=7.077899999999999e-3, config={"t": 59})
+        payload = json.loads(json.dumps(encode_result(m)))
+        assert decode_result(payload) == m
+
+    def test_unknown_types_are_rejected(self):
+        with pytest.raises(ConfigError, match="cannot journal"):
+            encode_result(object())
+        with pytest.raises(ConfigError, match="unknown journal payload"):
+            decode_result({"type": "wat"})
+
+
+# --------------------------------------------------------------------------
+# write -> read round trip
+# --------------------------------------------------------------------------
+
+
+def _entry(i, status="ok", value=None):
+    if status == "ok" and value is None:
+        value = Measurement(name="pt", time=i * 1e-6, config={"i": i})
+    return JournalEntry(
+        key=f"key{i}", index=i, status=status, payload=encode_result(value)
+    )
+
+
+class TestJournalRoundTrip:
+    def test_header_and_points_read_back(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as j:
+            j.write_header("fp123", "toy", total=3)
+            for i in range(3):
+                j.append_point(_entry(i))
+        read = Journal.read(path)
+        assert read.skipped == 0
+        assert read.header["campaign"] == "fp123"
+        assert read.header["name"] == "toy"
+        assert read.header["total"] == 3
+        assert [e.index for e in read.entries] == [0, 1, 2]
+        assert read.entries[1].result() == Measurement(
+            name="pt", time=1e-6, config={"i": 1}
+        )
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        read = Journal.read(str(tmp_path / "nope.jsonl"))
+        assert read.header is None
+        assert read.entries == []
+        assert read.skipped == 0
+
+    def test_by_key_is_first_write_wins(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as j:
+            j.write_header("fp", "toy")
+            j.append_point(_entry(0))
+            # A duplicate append for the same key (e.g. two racing
+            # resumes): the first record is the authoritative one.
+            dup = JournalEntry(
+                key="key0",
+                index=0,
+                status="ok",
+                payload=encode_result(
+                    Measurement(name="pt", time=9.9, config={"i": 0})
+                ),
+            )
+            j.append_point(dup)
+        by_key = Journal.read(path).by_key()
+        assert by_key["key0"].result().time == 0.0
+
+    def test_bad_status_is_rejected_at_write(self, tmp_path):
+        j = Journal(str(tmp_path / "j.jsonl"))
+        with pytest.raises(ConfigError, match="unknown journal status"):
+            j.append_point(_entry(0, status="exploded"))
+
+    def test_append_after_reopen_resumes_file(self, tmp_path):
+        # A resumed run opens the same path in append mode: old entries
+        # survive, new ones follow.
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as j:
+            j.write_header("fp", "toy")
+            j.append_point(_entry(0))
+        with Journal(path) as j:
+            j.append_point(_entry(1))
+        read = Journal.read(path)
+        assert [e.index for e in read.entries] == [0, 1]
+        assert read.header is not None
+
+
+# --------------------------------------------------------------------------
+# damage tolerance: the process-death cases
+# --------------------------------------------------------------------------
+
+
+class TestJournalDamage:
+    def _write(self, path, n=3):
+        with Journal(path) as j:
+            j.write_header("fp", "toy", total=n)
+            for i in range(n):
+                j.append_point(_entry(i))
+
+    def test_truncated_tail_is_skipped_with_warning(self, tmp_path):
+        # SIGKILL mid-append leaves a half-written last line.  Simulate
+        # the death by chopping the file mid-record.
+        path = str(tmp_path / "j.jsonl")
+        self._write(path)
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[: len(raw) - 25])
+        with pytest.warns(UserWarning, match="skipped 1 damaged"):
+            read = Journal.read(path)
+        assert read.skipped == 1
+        assert [e.index for e in read.entries] == [0, 1]
+
+    def test_corrupted_record_fails_its_digest(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        self._write(path)
+        lines = open(path, "r").read().splitlines()
+        # Flip the journaled time of point 1: still valid JSON, but the
+        # per-record sha no longer matches.
+        lines[2] = lines[2].replace('"time":1e-06', '"time":99.0')
+        assert '"time":99.0' in lines[2]
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.warns(UserWarning, match="corrupt or truncated"):
+            read = Journal.read(path)
+        assert read.skipped == 1
+        assert [e.index for e in read.entries] == [0, 2]
+
+    def test_foreign_lines_are_skipped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        self._write(path, n=2)
+        with open(path, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"kind": "note", "sha": "nope"}\n')
+        with pytest.warns(UserWarning):
+            read = Journal.read(path)
+        assert read.skipped == 2
+        assert len(read.entries) == 2
+
+    def test_blank_lines_are_ignored_silently(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        self._write(path, n=1)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        read = Journal.read(path)  # no warning expected
+        assert read.skipped == 0
+        assert len(read.entries) == 1

@@ -1,0 +1,353 @@
+"""Tests for the campaign runner: resume, dedupe, retry, streaming.
+
+The contracts under test are the CI gate's assertions in miniature:
+
+* serial, pooled, and killed-then-resumed executions of one spec all
+  produce **byte-identical** canonical results payloads;
+* a resumed run re-executes **zero** journaled points;
+* a ``capture_failures`` death under a fault plan is retried under a
+  progressively relaxed plan and recovers.
+
+Everything here is numpy-free: point functions are synthetic.
+"""
+
+import json
+from functools import partial
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    RetryPolicy,
+    SweepCheckpoint,
+    run_campaign,
+)
+from repro.campaign.queue import execute_point
+from repro.core.results import Failure, Measurement
+from repro.core.sweep import grid_sweep
+from repro.errors import ConfigError, SimulationError
+from repro.faults.plan import FaultPlan, LinkDegradation, MemoryPressure
+from repro.perf.cache import EvalCache
+
+_GiB = 2**30
+
+
+# --------------------------------------------------------------------------
+# module-level point functions (pickle into pools, fingerprint stably)
+# --------------------------------------------------------------------------
+
+
+def _plain_point(point, fault_plan):
+    return Measurement(name="pt", time=point * 1e-6, config={"p": point})
+
+
+def _counting_point(count_path, point, fault_plan):
+    """A point that tallies every execution into a file (pool-safe)."""
+    with open(count_path, "a") as fh:
+        fh.write(f"{point}\n")
+    return Measurement(name="pt", time=point * 1e-6, config={"p": point})
+
+
+def _pressure_point(point, fault_plan):
+    """Dies under memory pressure; prices cleanly once it is relaxed away."""
+    if fault_plan is not None:
+        fault_plan.check_footprint(10 * _GiB, 16 * _GiB, what=f"pt{point}")
+    return Measurement(name="pt", time=point * 1e-6, config={"p": point})
+
+
+def _dying_point(point, fault_plan):
+    raise SimulationError(f"point {point} always dies")
+
+
+def _executions(count_path):
+    try:
+        return open(count_path).read().splitlines()
+    except FileNotFoundError:
+        return []
+
+
+def _spec(points=(1, 2, 3, 4, 5), **kw):
+    kw.setdefault("name", "toy")
+    kw.setdefault("point_fn", _plain_point)
+    return CampaignSpec(points=points, **kw)
+
+
+def _payload(run):
+    return json.dumps(run.results_payload(), sort_keys=True)
+
+
+# --------------------------------------------------------------------------
+# execution modes agree
+# --------------------------------------------------------------------------
+
+
+class TestExecutionModes:
+    def test_serial_and_pooled_payloads_identical(self, tmp_path):
+        spec = _spec(points=tuple(range(1, 11)))
+        serial = run_campaign(spec, str(tmp_path / "s.jsonl"), shard_size=3)
+        pooled = run_campaign(
+            spec, str(tmp_path / "p.jsonl"), workers=2, shard_size=3
+        )
+        assert _payload(serial) == _payload(pooled)
+        assert serial.stats.executed == pooled.stats.executed == 10
+        assert pooled.stats.shards == 4
+
+    def test_results_arrive_in_grid_order(self, tmp_path):
+        spec = _spec(points=(5, 1, 4, 2, 3))
+        run = run_campaign(spec, str(tmp_path / "j.jsonl"), shard_size=2)
+        assert [m.config["p"] for m in run.results] == [5, 1, 4, 2, 3]
+
+    def test_shard_size_never_changes_results(self, tmp_path):
+        spec = _spec()
+        payloads = {
+            _payload(run_campaign(spec, str(tmp_path / f"j{k}.jsonl"), shard_size=k))
+            for k in (1, 2, 5)
+        }
+        assert len(payloads) == 1
+
+    def test_on_shard_streams_partial_results(self, tmp_path):
+        spec = _spec(points=tuple(range(6)))
+        seen = []
+        run_campaign(
+            spec,
+            str(tmp_path / "j.jsonl"),
+            shard_size=2,
+            on_shard=lambda rs, stats: seen.append((len(rs), stats.executed)),
+        )
+        assert [n for n, _ in seen] == [2, 2, 2]
+        assert [e for _, e in seen] == [2, 4, 6]
+
+    def test_shard_spans_reach_the_tracer(self, tmp_path):
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        spec = _spec(points=tuple(range(6)))
+        run_campaign(
+            spec, str(tmp_path / "j.jsonl"), shard_size=2, tracer=tracer
+        )
+        assert len(tracer) == 3  # one span per shard
+
+
+# --------------------------------------------------------------------------
+# resume: the kill-and-resume contract
+# --------------------------------------------------------------------------
+
+
+class TestResume:
+    def test_resume_reexecutes_nothing(self, tmp_path):
+        count = str(tmp_path / "count")
+        spec = _spec(point_fn=partial(_counting_point, count))
+        journal = str(tmp_path / "j.jsonl")
+        first = run_campaign(spec, journal)
+        assert len(_executions(count)) == 5
+        second = run_campaign(spec, journal, resume=True)
+        assert len(_executions(count)) == 5  # zero new executions
+        assert second.stats.executed == 0
+        assert second.stats.replayed == 5
+        assert second.stats.journaled_before == 5
+        assert _payload(first) == _payload(second)
+
+    def test_interrupted_run_resumes_where_it_died(self, tmp_path):
+        count = str(tmp_path / "count")
+        spec = _spec(point_fn=partial(_counting_point, count))
+        journal = str(tmp_path / "j.jsonl")
+        reference = run_campaign(spec, str(tmp_path / "ref.jsonl"))
+
+        # "Kill" a run after two journaled points: run fully, then chop
+        # the journal back to header + 2 points + a half-written line —
+        # exactly what a SIGKILL mid-append leaves behind.
+        run_campaign(spec, journal)
+        lines = open(journal).read().splitlines()
+        open(journal, "w").write("\n".join(lines[:3]) + '\n{"kind": "po')
+
+        open(count, "w").close()  # reset the execution tally
+        with pytest.warns(UserWarning, match="damaged"):
+            resumed = run_campaign(spec, journal, resume=True)
+        assert resumed.stats.journal_skipped == 1
+        assert resumed.stats.journaled_before == 2
+        assert resumed.stats.replayed == 2
+        assert resumed.stats.executed == 3
+        assert sorted(_executions(count)) == ["3", "4", "5"]
+        assert _payload(resumed) == _payload(reference)
+
+    def test_resume_requires_an_existing_journal(self, tmp_path):
+        with pytest.raises(ConfigError, match="nothing to resume"):
+            run_campaign(_spec(), str(tmp_path / "absent.jsonl"), resume=True)
+
+    def test_fresh_requires_an_absent_journal(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        run_campaign(_spec(), journal)
+        with pytest.raises(ConfigError, match="already holds"):
+            run_campaign(_spec(), journal, resume=False)
+
+    def test_foreign_campaign_journal_is_refused(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        run_campaign(_spec(name="alpha"), journal)
+        with pytest.raises(ConfigError, match="refusing to mix"):
+            run_campaign(_spec(name="beta"), journal)
+
+    def test_resume_across_worker_counts(self, tmp_path):
+        # Execution parameters are not campaign identity: a run made
+        # with a pool resumes serially against the same journal.
+        spec = _spec(points=tuple(range(8)))
+        journal = str(tmp_path / "j.jsonl")
+        first = run_campaign(spec, journal, workers=2, shard_size=2)
+        resumed = run_campaign(spec, journal, resume=True, workers=None)
+        assert resumed.stats.executed == 0
+        assert _payload(first) == _payload(resumed)
+
+
+# --------------------------------------------------------------------------
+# dedupe tiers
+# --------------------------------------------------------------------------
+
+
+class TestDedupe:
+    def test_duplicate_coordinates_price_once(self, tmp_path):
+        count = str(tmp_path / "count")
+        spec = _spec(points=(1, 2, 1, 3, 2), point_fn=partial(_counting_point, count))
+        run = run_campaign(spec, str(tmp_path / "j.jsonl"))
+        assert len(_executions(count)) == 3
+        assert run.stats.deduped == 2
+        assert run.stats.unique == 3
+        assert len(run.records) == 5  # duplicates mirrored in grid order
+        assert [m.config["p"] for m in run.results] == [1, 2, 1, 3, 2]
+
+    def test_eval_cache_joins_the_dedupe(self, tmp_path):
+        count = str(tmp_path / "count")
+        spec = _spec(points=(1, 2, 3), point_fn=partial(_counting_point, count))
+        cache = EvalCache()
+        run_campaign(spec, str(tmp_path / "a.jsonl"), cache=cache)
+        assert len(_executions(count)) == 3
+        # Same spec, fresh journal, shared cache: nothing re-executes.
+        second = run_campaign(spec, str(tmp_path / "b.jsonl"), cache=cache)
+        assert len(_executions(count)) == 3
+        assert second.stats.cache_hits == 3
+        assert second.stats.executed == 0
+        # ... and the hits were journaled, so a third run needs neither
+        # the cache nor the point function.
+        third = run_campaign(spec, str(tmp_path / "b.jsonl"))
+        assert third.stats.replayed == 3
+
+
+# --------------------------------------------------------------------------
+# retry policy
+# --------------------------------------------------------------------------
+
+
+class TestRetry:
+    def test_pressure_death_recovers_under_relaxation(self, tmp_path):
+        plan = FaultPlan([MemoryPressure(capacity_factor=0.5)])
+        spec = _spec(
+            point_fn=_pressure_point,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        run = run_campaign(spec, str(tmp_path / "j.jsonl"))
+        assert run.stats.failures == 0
+        assert run.stats.retried == 5
+        assert run.stats.recovered == 5
+        assert all(r.attempts == 2 and r.relaxation == 1 for r in run.records)
+
+    def test_exhausted_retries_become_failures(self, tmp_path):
+        plan = FaultPlan([LinkDegradation(latency_factor=4.0)])
+        spec = _spec(
+            points=(1, 2),
+            point_fn=_dying_point,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=3),
+        )
+        run = run_campaign(spec, str(tmp_path / "j.jsonl"))
+        assert run.stats.failures == 2
+        assert run.stats.recovered == 0
+        assert all(isinstance(f, Failure) for f in run.results.failures)
+        assert all(r.attempts == 3 for r in run.records)
+
+    def test_relaxation_convergence_short_circuits(self):
+        # MemoryPressure is dropped at the first relaxation; after that
+        # the plan stops changing, so a deterministic death is not
+        # retried under identical conditions.
+        plan = FaultPlan([MemoryPressure(capacity_factor=0.5)])
+        spec = _spec(
+            points=(1,),
+            point_fn=_dying_point,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=5),
+        )
+        record = execute_point(spec, 0, "k", 1)
+        assert record.status == "failure"
+        assert record.attempts == 2  # attempts 3..5 never ran
+
+    def test_no_plan_means_no_retries(self, tmp_path):
+        spec = _spec(
+            points=(1,), point_fn=_dying_point, retry=RetryPolicy(max_attempts=4)
+        )
+        run = run_campaign(spec, str(tmp_path / "j.jsonl"))
+        assert run.records[0].attempts == 1
+        assert run.stats.failures == 1
+
+    def test_retried_failures_replay_on_resume(self, tmp_path):
+        plan = FaultPlan([LinkDegradation(latency_factor=4.0)])
+        spec = _spec(
+            points=(1, 2),
+            point_fn=_dying_point,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        journal = str(tmp_path / "j.jsonl")
+        first = run_campaign(spec, journal)
+        resumed = run_campaign(spec, journal, resume=True)
+        assert resumed.stats.executed == 0  # failures are checkpoints too
+        assert _payload(first) == _payload(resumed)
+        assert resumed.records[0].attempts == 2  # retry info survives
+
+
+# --------------------------------------------------------------------------
+# sweep checkpoint hooks
+# --------------------------------------------------------------------------
+
+
+def _sweep_point(count_path, p):
+    with open(count_path, "a") as fh:
+        fh.write(f"{p}\n")
+    return Measurement(name="pt", time=p * 1e-6, config={"p": p})
+
+
+class TestSweepCheckpoint:
+    def test_grid_sweep_resumes_from_checkpoint(self, tmp_path):
+        count = str(tmp_path / "count")
+        path = str(tmp_path / "ckpt.jsonl")
+        fn = partial(_sweep_point, count)
+        with SweepCheckpoint(path, scope="demo") as ckpt:
+            first = grid_sweep(fn, [1, 2, 3, 4], checkpoint=ckpt)
+        assert len(_executions(count)) == 4
+        with SweepCheckpoint(path, scope="demo") as ckpt:
+            second = grid_sweep(fn, [1, 2, 3, 4], checkpoint=ckpt)
+            assert ckpt.replayed == 4
+            assert ckpt.recorded == 0
+        assert len(_executions(count)) == 4  # nothing re-priced
+        assert list(first) == list(second)
+
+    def test_checkpoint_extends_to_new_points(self, tmp_path):
+        count = str(tmp_path / "count")
+        path = str(tmp_path / "ckpt.jsonl")
+        fn = partial(_sweep_point, count)
+        with SweepCheckpoint(path, scope="demo") as ckpt:
+            grid_sweep(fn, [1, 2], checkpoint=ckpt)
+        with SweepCheckpoint(path, scope="demo") as ckpt:
+            rs = grid_sweep(fn, [1, 2, 3], checkpoint=ckpt)
+            assert ckpt.replayed == 2
+            assert ckpt.recorded == 1
+        assert [m.config["p"] for m in rs] == [1, 2, 3]
+        assert len(_executions(count)) == 3
+
+    def test_scope_change_invalidates_the_checkpoint(self, tmp_path):
+        count = str(tmp_path / "count")
+        path = str(tmp_path / "ckpt.jsonl")
+        fn = partial(_sweep_point, count)
+        with SweepCheckpoint(path, scope="alpha") as ckpt:
+            grid_sweep(fn, [1, 2], checkpoint=ckpt)
+        with SweepCheckpoint(path, scope="beta") as ckpt:
+            grid_sweep(fn, [1, 2], checkpoint=ckpt)
+            assert ckpt.replayed == 0  # different scope, no collisions
+        assert len(_executions(count)) == 4

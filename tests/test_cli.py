@@ -112,3 +112,52 @@ class TestCheck:
         rc, out = run_cli(capsys, "check", "no-such-thing")
         assert rc == 2
         assert "unknown target" in out
+
+
+class TestCampaign:
+    def test_run_status_resume_cycle(self, capsys, tmp_path):
+        journal = str(tmp_path / "h.jsonl")
+        out_a = str(tmp_path / "a.json")
+        out_b = str(tmp_path / "b.json")
+        rc, out = run_cli(
+            capsys, "campaign", "run", "halo", "--quick",
+            "--journal", journal, "--out", out_a,
+        )
+        assert rc == 0
+        assert "shard landed" in out
+        rc, out = run_cli(capsys, "campaign", "status", "--journal", journal)
+        assert rc == 0
+        assert "6/6 journaled" in out
+        assert "complete" in out
+        rc, out = run_cli(
+            capsys, "campaign", "resume", "halo", "--quick",
+            "--journal", journal, "--out", out_b,
+        )
+        assert rc == 0
+        assert open(out_a).read() == open(out_b).read()
+
+    def test_demo_faults_recover_via_retries(self, capsys, tmp_path):
+        stats_path = str(tmp_path / "s.json")
+        rc, out = run_cli(
+            capsys, "campaign", "run", "halo", "--quick", "--faults", "demo",
+            "--journal", str(tmp_path / "h.jsonl"), "--stats", stats_path,
+        )
+        assert rc == 0
+        import json as _json
+
+        stats = _json.load(open(stats_path))
+        assert stats["retried"] == 6
+        assert stats["recovered"] == 6
+        assert stats["failures"] == 0
+
+    def test_status_on_missing_journal(self, capsys, tmp_path):
+        rc, out = run_cli(
+            capsys, "campaign", "status", "--journal", str(tmp_path / "no.jsonl")
+        )
+        assert rc == 1
+        assert "never started" in out
+
+    def test_run_without_experiment_rejected(self, capsys, tmp_path):
+        rc, out = run_cli(capsys, "campaign", "run")
+        assert rc == 2
+        assert "needs an experiment" in out

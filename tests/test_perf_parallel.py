@@ -73,8 +73,30 @@ class TestParallelMap:
         # A closure cannot be pickled into pool workers; the executor must
         # degrade to the serial path, not fail.
         offset = 10
-        result = parallel_map(lambda x: x + offset, [1, 2, 3], workers=2)
+        with pytest.warns(RuntimeWarning):
+            result = parallel_map(lambda x: x + offset, [1, 2, 3], workers=2)
         assert result == [11, 12, 13]
+
+    def test_serial_fallback_warns_naming_the_cause(self):
+        # The fallback used to be silent — a sweep just ran N× slower.
+        # Exactly one RuntimeWarning must fire, naming the unpicklable
+        # culprit so CI logs show why parallelism was disabled.
+        offset = 7
+        with pytest.warns(RuntimeWarning, match="cannot pickle") as caught:
+            parallel_map(lambda x: x + offset, [1, 2], workers=2)
+        fallback = [
+            w for w in caught if "parallel execution disabled" in str(w.message)
+        ]
+        assert len(fallback) == 1
+        assert "lambda" in str(fallback[0].message)
+
+    def test_serial_path_does_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert parallel_map(_square, [1, 2, 3], workers=2) == [1, 4, 9]
 
     def test_parallel_tasks_preserves_order(self):
         tasks = [(_square, 3), (_square, 4), (_square, 5)]
