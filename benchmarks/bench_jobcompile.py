@@ -1,11 +1,14 @@
-"""Whole-job compilation benchmark: stepped vs max-plus replay vs memo.
+"""Whole-job compilation benchmark: stepped vs replay vs vector vs memo.
 
-Times the same static jobs through the three execution paths of
+Times the same static jobs through the execution paths of
 :mod:`repro.mpi.compile`:
 
 * **stepped** — the full discrete-event run (``fast_collectives=False``)
   on its own engine, recording how many events it stepped;
 * **replay** — the cold max-plus replay (no events stepped at all);
+* **vector** — :mod:`repro.mpi.phasec`'s array-form phase recurrences
+  (one numpy update per communication phase over the whole clock
+  vector);
 * **memo** — a warm :class:`~repro.perf.cache.EvalCache` hit (no events,
   no replay: an O(1) dictionary lookup).
 
@@ -14,7 +17,12 @@ Campaigns:
 * a CG-style halo job (two ring sendrecvs + barrier per iteration) at
   P ∈ {64, 1024, 16384} (quick: {64, 256}), gating the headline claim:
   at P=16384 the replay agrees with the stepped engine to 1e-9 while
-  running ≥ 20x faster;
+  running ≥ 20x faster — and at *every* P the replay beats the stepped
+  wall (the small-P crossover gate);
+* the vector path at P ∈ {4096, 65536, 100000} (quick: {4096}), gating
+  ≤ 1e-9 agreement with the stepped engine at P=4096, ≥ 100x over the
+  scalar replay at P=65536, and a < 10 s wall at P=100,000 — the
+  "price a 100k-rank decomposition in seconds" claim (needs numpy);
 * the NPB EP and CG solvers at P ∈ {4, 8} with official verification,
   gating bit-identical returns and warm memo hits.
 
@@ -37,6 +45,14 @@ from typing import Any, Dict, List, Optional
 
 HALO_RANKS = (64, 1024, 16384)
 HALO_RANKS_QUICK = (64, 256)
+#: (ranks, run the stepped reference too?) for the vector campaign.
+VECTOR_RANKS = ((4096, True), (65536, False), (100000, False))
+VECTOR_RANKS_QUICK = ((4096, True),)
+#: The ≥100x-vs-scalar-replay gate applies from this rank count up.
+VECTOR_SPEEDUP_RANKS = 65536
+VECTOR_SPEEDUP_MIN = 100.0
+#: The absolute wall ceiling for the largest vector point (seconds).
+VECTOR_WALL_CEILING_S = 10.0
 HALO_NBYTES = 4096
 HALO_ITERS = 2
 NPB_RANKS = (4, 8)
@@ -105,7 +121,9 @@ def _halo_point(p: int) -> Dict[str, Any]:
     for label in ("replay", "memo"):
         st = CompileStats()
         t0 = time.perf_counter()
-        res = compiled_mpiexec(p, fabric, main, cache=cache, stats=st)
+        res = compiled_mpiexec(
+            p, fabric, main, cache=cache, stats=st, vector=False
+        )
         wall = time.perf_counter() - t0
         point[label] = {
             "wall": wall,
@@ -116,6 +134,58 @@ def _halo_point(p: int) -> Dict[str, Any]:
             "identical_returns": _same(res.returns, stepped.returns),
             "speedup": stepped_wall / max(wall, 1e-12),
         }
+    return point
+
+
+def _vector_point(p: int, with_stepped: bool) -> Dict[str, Any]:
+    from repro.mpi.compile import CompileStats, compiled_mpiexec, replay
+    from repro.mpi.fabrics import phi_fabric
+    from repro.mpi.runtime import MpiJob
+    from repro.simcore import Engine
+
+    fabric = phi_fabric(2)
+    main = partial(_halo_main, HALO_NBYTES, HALO_ITERS)
+    point: Dict[str, Any] = {
+        "ranks": p,
+        "nbytes": HALO_NBYTES,
+        "iters": HALO_ITERS,
+    }
+    if with_stepped:
+        engine = Engine()
+        job = MpiJob(p, fabric, engine=engine, fast_collectives=False)
+        job.launch(main)
+        t0 = time.perf_counter()
+        stepped = job.run()
+        point["stepped"] = {
+            "wall": time.perf_counter() - t0,
+            "elapsed": stepped.elapsed,
+            "engine_steps": engine.timeline(),
+        }
+
+    t0 = time.perf_counter()
+    rep = replay(p, fabric, main)
+    replay_wall = time.perf_counter() - t0
+    point["replay"] = {"wall": replay_wall, "elapsed": rep.elapsed}
+
+    st = CompileStats()
+    t0 = time.perf_counter()
+    res = compiled_mpiexec(p, fabric, main, stats=st, vector=True)
+    wall = time.perf_counter() - t0
+    vec: Dict[str, Any] = {
+        "wall": wall,
+        "elapsed": res.elapsed,
+        "engine_steps": st.engine_steps,
+        "path": st.path,
+        "phases": st.phases,
+        "rel_err_replay": abs(res.elapsed - rep.elapsed) / rep.elapsed,
+        "speedup_vs_replay": replay_wall / max(wall, 1e-12),
+    }
+    if with_stepped:
+        vec["rel_err"] = (
+            abs(res.elapsed - point["stepped"]["elapsed"])
+            / point["stepped"]["elapsed"]
+        )
+    point["vector"] = vec
     return point
 
 
@@ -173,6 +243,14 @@ def run_jobcompile(
     except ImportError:  # pragma: no cover - the no-numpy CI leg
         have_numpy = False
     if have_numpy:
+        report["vector"] = {
+            "points": [
+                _vector_point(p, with_stepped)
+                for p, with_stepped in (
+                    VECTOR_RANKS_QUICK if quick else VECTOR_RANKS
+                )
+            ]
+        }
         report["npb"] = {
             "points": [
                 _npb_point(bench, p)
@@ -208,6 +286,39 @@ def check_report(report: Dict[str, Any]) -> List[str]:
             bad.append(
                 f"{tag}: replay speedup {pt['replay']['speedup']:.1f}x < 20x"
             )
+        # The small-P crossover gate: the compiled path must never lose
+        # to the stepped engine at any benchmarked rank count.
+        if pt["replay"]["speedup"] < 1.0:
+            bad.append(
+                f"{tag}: replay slower than stepped "
+                f"({pt['replay']['speedup']:.2f}x)"
+            )
+    for pt in report.get("vector", {}).get("points", ()):
+        tag = f"vector P={pt['ranks']}"
+        v = pt["vector"]
+        if v["path"] != "vector":
+            bad.append(f"{tag}: priced via {v['path']!r}, not the vector path")
+        if v["engine_steps"] != 0:
+            bad.append(f"{tag}: stepped {v['engine_steps']} events")
+        if v["rel_err_replay"] > TOL:
+            bad.append(
+                f"{tag}: rel_err vs scalar replay {v['rel_err_replay']:.2e}"
+            )
+        if "rel_err" in v and v["rel_err"] > TOL:
+            bad.append(f"{tag}: rel_err vs stepped {v['rel_err']:.2e}")
+        if (
+            pt["ranks"] >= VECTOR_SPEEDUP_RANKS
+            and v["speedup_vs_replay"] < VECTOR_SPEEDUP_MIN
+        ):
+            bad.append(
+                f"{tag}: speedup vs replay {v['speedup_vs_replay']:.1f}x "
+                f"< {VECTOR_SPEEDUP_MIN:.0f}x"
+            )
+        if pt["ranks"] >= 100000 and v["wall"] > VECTOR_WALL_CEILING_S:
+            bad.append(
+                f"{tag}: wall {v['wall']:.2f}s > "
+                f"{VECTOR_WALL_CEILING_S:.0f}s ceiling"
+            )
     for pt in report.get("npb", {}).get("points", ()):
         tag = f"npb {pt['bench']} P={pt['ranks']}"
         for label in ("replay", "memo"):
@@ -241,6 +352,27 @@ def render_report(report: Dict[str, Any]) -> str:
             )
         lines.append(f"{'':>16} replay speedup: "
                      f"{pt['replay']['speedup']:.1f}x")
+    for pt in report.get("vector", {}).get("points", ()):
+        tag = f"vector P={pt['ranks']}"
+        if "stepped" in pt:
+            s = pt["stepped"]
+            lines.append(
+                f"{tag:>16} {'stepped':>7} {s['wall']:>9.3f} "
+                f"{s['elapsed']:>12.4e} {s['engine_steps']:>7} {'-':>8}"
+            )
+            tag = ""
+        r = pt["replay"]
+        lines.append(f"{tag:>16} {'replay':>7} {r['wall']:>9.3f} "
+                     f"{r['elapsed']:>12.4e} {'0':>7} {'-':>8}")
+        v = pt["vector"]
+        lines.append(
+            f"{'':>16} {'vector':>7} {v['wall']:>9.3f} "
+            f"{v['elapsed']:>12.4e} {v['engine_steps']:>7} "
+            f"{v['rel_err_replay']:>8.1e}"
+        )
+        lines.append(f"{'':>16} vector speedup vs replay: "
+                     f"{v['speedup_vs_replay']:.1f}x "
+                     f"({v['phases']} phases)")
     for pt in report.get("npb", {}).get("points", ()):
         tag = f"npb-{pt['bench']} P={pt['ranks']}"
         for label in ("replay", "memo"):

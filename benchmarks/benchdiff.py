@@ -102,7 +102,7 @@ def diff_jobcompile(base: Dict[str, Any], fresh: Dict[str, Any], d: Diff) -> Non
 
     for violation in check_report(fresh):
         d.gate("jobcompile", violation)
-    for family in ("halo", "npb"):
+    for family in ("halo", "vector", "npb"):
         b_points = base.get(family, {}).get("points", [])
         f_points = fresh.get(family, {}).get("points", [])
         if len(b_points) != len(f_points):
@@ -115,12 +115,14 @@ def diff_jobcompile(base: Dict[str, Any], fresh: Dict[str, Any], d: Diff) -> Non
             tag = f"jobcompile.{family}[P={bp.get('ranks')}" + (
                 f",{bp['bench']}]" if "bench" in bp else "]"
             )
-            d.exact(
-                f"{tag}.stepped.engine_steps",
-                bp["stepped"].get("engine_steps"),
-                fp["stepped"].get("engine_steps"),
-            )
-            for label in ("replay", "memo"):
+            if "stepped" in bp and "stepped" in fp:
+                d.exact(
+                    f"{tag}.stepped.engine_steps",
+                    bp["stepped"].get("engine_steps"),
+                    fp["stepped"].get("engine_steps"),
+                )
+            labels = ("vector",) if family == "vector" else ("replay", "memo")
+            for label in labels:
                 d.wall(f"{tag}.{label}.wall", bp[label]["wall"], fp[label]["wall"])
 
 

@@ -755,8 +755,6 @@ class RankProgramProfile:
             reasons.append("irecv")
         if self.uses_timeouts:
             reasons.append("timeout/deadline-bounded operation")
-        for m in sorted(self.methods & {"gather", "scatter"}):
-            reasons.append(f"unscheduled collective {m!r}")
         return reasons
 
 
@@ -772,12 +770,26 @@ def rank_program_profile(main) -> RankProgramProfile:
     """Statically profile the MPI calls of rank program ``main``.
 
     ``functools.partial`` wrappers and bound methods are unwrapped to the
-    underlying function before its source is parsed.
+    underlying function before its source is parsed.  Profiles are
+    memoized per function object (the unwrapped callable), so sweeps
+    repricing one rank program thousands of times parse its source once.
     """
     fn = main
     while isinstance(fn, functools.partial):
         fn = fn.func
     fn = getattr(fn, "__func__", fn)
+    try:
+        return _profile_function(fn)
+    except TypeError:  # unhashable callable: profile uncached
+        return _profile_uncached(fn)
+
+
+@functools.lru_cache(maxsize=256)
+def _profile_function(fn) -> RankProgramProfile:
+    return _profile_uncached(fn)
+
+
+def _profile_uncached(fn) -> RankProgramProfile:
     try:
         source = textwrap.dedent(inspect.getsource(fn))
         tree = ast.parse(source)

@@ -23,7 +23,7 @@ interpreter runs — both requirements of
 from __future__ import annotations
 
 from functools import lru_cache, partial
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.campaign.retry import RetryPolicy
 from repro.campaign.spec import CampaignSpec
@@ -31,7 +31,8 @@ from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan, MemoryPressure, RankCrash
 from repro.units import GiB, KiB
 
-__all__ = ["EXPERIMENTS", "build_spec", "demo_plan"]
+__all__ = ["EXPERIMENTS", "JOB_STATS", "build_spec", "demo_plan",
+           "reset_job_stats"]
 
 #: Device capacities the fig22 fault check prices against (Table 1).
 _HOST_MEMORY = 32 * GiB
@@ -48,6 +49,73 @@ def _overflow_model(grid_name: str):
     from repro.apps import OverflowModel, dataset
 
     return OverflowModel(dataset(grid_name))
+
+
+#: Whole-job memo shared by every fig22 exchange probe in this process:
+#: a resumed (or retried) campaign re-prices repeated decompositions as
+#: O(1) cache hits instead of re-running the replay.  Built lazily so
+#: importing this module stays dependency-free.
+_JOB_CACHE: Optional[Any] = None
+
+#: Path counters for the fig22 exchange probes (``"memo"``/``"replay"``/
+#: ``"vector"``/``"stepped"`` → count) — the campaign tests' proof that a
+#: second pass steps no engine event.
+JOB_STATS: Dict[str, int] = {}
+
+
+def reset_job_stats() -> None:
+    """Drop the fig22 job memo and its path counters (test hook)."""
+    global _JOB_CACHE
+    _JOB_CACHE = None
+    JOB_STATS.clear()
+
+
+def _job_cache():
+    global _JOB_CACHE
+    if _JOB_CACHE is None:
+        from repro.perf.cache import EvalCache
+
+        _JOB_CACHE = EvalCache()
+    return _JOB_CACHE
+
+
+def _decomp_halo_main(nbytes: int, comm):
+    """The decomposition's communication skeleton: one halo exchange per
+    lattice direction plus the residual allreduce."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    yield from comm.sendrecv(right, left, nbytes=nbytes)
+    yield from comm.sendrecv(left, right, nbytes=nbytes)
+    total = yield from comm.allreduce(comm.rank, nbytes=8)
+    return total
+
+
+def _exchange_probe(device_str: str, i: int, j: int,
+                    footprint: float) -> Optional[Tuple[float, str]]:
+    """Price the (i, j) decomposition's halo+allreduce exchange.
+
+    Runs through :func:`~repro.mpi.compile.compiled_mpiexec` against the
+    shared :func:`_job_cache`, so the campaign runner's repeated
+    decompositions (resume passes, retry attempts, shared rank counts)
+    hit the memo in O(1) with zero engine steps.  Fault plans stay on
+    the native-step path: the probe always prices the healthy network.
+    """
+    ranks = i * j
+    if ranks < 2:
+        return None
+    from repro.mpi.compile import CompileStats, compiled_mpiexec
+    from repro.mpi.fabrics import host_fabric, phi_fabric
+
+    fabric = host_fabric() if device_str == "host" else phi_fabric()
+    # Halo plane bytes per rank: the footprint sliced across the lattice.
+    nbytes = max(64, int(footprint) // (ranks * 64))
+    st = CompileStats()
+    res = compiled_mpiexec(
+        ranks, fabric, partial(_decomp_halo_main, nbytes),
+        cache=_job_cache(), stats=st,
+    )
+    JOB_STATS[st.path] = JOB_STATS.get(st.path, 0) + 1
+    return res.elapsed, st.path
 
 
 def fig22_points(quick: bool = False) -> List[Tuple[str, int, int]]:
@@ -103,6 +171,15 @@ def fig22_point(
             from repro.core.results import Measurement
 
             m = Measurement(m.name, m.time * factor, m.unit, m.gflops, m.config)
+    probe = _exchange_probe(device_str, i, j, model.grid.footprint)
+    if probe is not None:
+        from repro.core.results import Measurement
+
+        elapsed, path = probe
+        cfg = dict(m.config)
+        cfg["exchange_elapsed_s"] = elapsed
+        cfg["exchange_path"] = path
+        m = Measurement(m.name, m.time, m.unit, m.gflops, cfg)
     return m
 
 

@@ -826,17 +826,20 @@ def _cmd_compile(args) -> int:
     cache = EvalCache()
     ok = True
     last_wall = stepped_wall
-    for label in ("replay (cold)", "memo (warm)"):
+    for label in ("compiled (cold)", "memo (warm)"):
         st = CompileStats()
         t0 = time.perf_counter()
         res = compiled_mpiexec(args.ranks, fabric, main, cache=cache, stats=st)
         wall = time.perf_counter() - t0
         last_wall = wall
         rel = abs(res.elapsed - stepped.elapsed) / stepped.elapsed
-        ok = ok and rel <= 1e-9 and st.path in ("replay", "memo")
+        ok = ok and rel <= 1e-9 and st.path in ("replay", "vector", "memo")
+        shown = st.path or "stepped"
+        if st.path == "vector":
+            shown = f"vector, {st.phases} phases"
         rows.append(
             (
-                f"{label} [{st.path or 'stepped'}]",
+                f"{label} [{shown}]",
                 f"{res.elapsed:.6e}",
                 f"{wall:.3f}",
                 str(st.engine_steps),

@@ -479,7 +479,7 @@ def _ring_times(fabric, p: int, nbytes: int, t: List[float]) -> List[float]:
                 v = np.maximum(v + ts, left + tp)
             else:
                 v = np.maximum(np.maximum(v, left), np.roll(v, -1)) + tp
-        return [float(x) for x in v]
+        return v.tolist()
     cur = list(t)
     for _ in range(p - 1):
         if eager:
@@ -534,6 +534,9 @@ def allreduce_schedule(
     m = int(math.log2(p))
     pow2 = 1 << m
     r = p - pow2
+    np = _numpy()
+    if np is not None and p >= 128:
+        return _allreduce_times_numpy(np, p, t, tp, ts, eager, tred, pow2, r)
 
     # Fold-in: even ranks below 2r send to their odd neighbour and wait.
     even_ready = [0.0] * p  # when even rank 2k posts its hand-back recv
@@ -577,6 +580,69 @@ def allreduce_schedule(
                 finish[rank - 1] = done
         else:
             finish[rank] = f
+    return finish
+
+
+def _allreduce_times_numpy(
+    np, p: int, t: List[float], tp: float, ts: float, eager: bool,
+    tred: float, pow2: int, r: int
+) -> List[float]:
+    """List-API wrapper over :func:`_allreduce_kernel`."""
+    t_arr = np.asarray(t, dtype=float)
+    return _allreduce_kernel(
+        np, p, t_arr, tp, ts, eager, tred, pow2, r
+    ).tolist()
+
+
+def _allreduce_kernel(
+    np, p: int, t_arr, tp: float, ts: float, eager: bool,
+    tred: float, pow2: int, r: int
+):
+    """Array form of the allreduce recurrence above (array in/out).
+
+    Every elementwise operation mirrors the scalar comprehensions'
+    float order exactly, so the two paths are bit-identical.  The
+    ``i ^ mask`` partner lookup is a contiguous block swap — reshape to
+    ``(…, 2, mask)`` and flip the pair axis — which beats fancy indexing
+    on 100k-rank vectors.
+    """
+    surv = np.empty(pow2, dtype=float)
+    even_ready = None
+    if r:
+        a = t_arr[0:2 * r:2]  # even ranks (fold into their odd neighbour)
+        b = t_arr[1:2 * r:2]  # odd ranks (survivors 0..r-1)
+        if eager:
+            recv_done = np.maximum(b, a + tp)
+            even_ready = a + ts
+        else:
+            recv_done = np.maximum(a, b) + tp
+            even_ready = recv_done
+        surv[:r] = recv_done + tred
+    surv[r:] = t_arr[2 * r:]
+
+    mask = 1
+    while mask < pow2:
+        partner = surv.reshape(-1, 2, mask)[:, ::-1, :].reshape(-1)
+        if eager:
+            surv = np.maximum(surv + ts, partner + tp) + tred
+        else:
+            surv = np.maximum(surv, partner) + tp + tred
+        mask <<= 1
+
+    if not r:
+        return surv
+    finish = np.empty(p, dtype=float)
+    idx = np.arange(r)
+    odd = idx * 2 + 1  # actual ranks of survivors 0..r-1
+    f = surv[:r]
+    if eager:
+        finish[odd] = f + ts
+        finish[odd - 1] = np.maximum(even_ready, f + tp)
+    else:
+        done = np.maximum(even_ready, f) + tp
+        finish[odd] = done
+        finish[odd - 1] = done
+    finish[np.arange(r, pow2) + r] = surv[r:]
     return finish
 
 
@@ -695,6 +761,72 @@ def reduce_schedule(
     return finish
 
 
+def gather_schedule(
+    fabric,
+    p: int,
+    nbytes: int,
+    root: int = 0,
+    arrivals: Optional[List[float]] = None,
+) -> List[float]:
+    """Per-rank completion times of :func:`gather` on a uniform fabric.
+
+    The binomial tree is walked children-first (descending vrank) like
+    :func:`reduce_schedule`, but hop sizes grow with the accumulated
+    block count: a child at vrank ``v`` uploads ``min(lowbit(v), p - v)``
+    blocks, and there is no reduction arithmetic on the way up.
+    """
+    t = _arrivals(p, arrivals)
+    if p == 1:
+        return t
+    finish = [0.0] * p
+    send_post = [0.0] * p  # by vrank: when a child posts its upward send
+    for v in range(p - 1, -1, -1):  # children (higher vrank) before parents
+        rank = (v + root) % p
+        clock = t[rank]
+        mask = 1
+        while mask < p and not (v & mask):
+            c = v + mask
+            if c < p:
+                sz = nbytes * min(mask, p - c)
+                tp, _ts, eager = _wire(fabric, sz)
+                sp = send_post[c]
+                if eager:
+                    recv_done = max(clock, sp + tp)
+                else:
+                    recv_done = max(clock, sp) + tp
+                    finish[(c + root) % p] = recv_done  # rendezvous sender
+                clock = recv_done
+            mask <<= 1
+        if v:
+            send_post[v] = clock
+            sz = nbytes * min(v & -v, p - v)
+            _tp, ts, eager = _wire(fabric, sz)
+            if eager:
+                finish[rank] = clock + ts
+        else:
+            finish[rank] = clock
+    return finish
+
+
+def scatter_schedule(
+    fabric,
+    p: int,
+    nbytes: int,
+    root: int = 0,
+    arrivals: Optional[List[float]] = None,
+) -> List[float]:
+    """Per-rank completion times of :func:`scatter` on a uniform fabric.
+
+    Delegates to the binomial-subtree walk :func:`bcast_schedule`'s
+    large-message path already uses; hop sizes are ``nbytes`` times the
+    blocks handed down, mirroring the executable algorithm exactly.
+    """
+    t = _arrivals(p, arrivals)
+    if p == 1:
+        return t
+    return _scatter_times(fabric, p, nbytes, root, t)
+
+
 def barrier_schedule(
     fabric,
     p: int,
@@ -725,17 +857,50 @@ def barrier_schedule(
     np = _numpy()
     if np is not None and p >= 128:
         v = np.asarray(t, dtype=float)
-        k = 1
-        while k < p:
-            v = np.maximum(v + ts, np.roll(v, k) + tp)
-            k <<= 1
-        return [float(x) for x in v]
+        return _barrier_kernel(np, p, v, tp, ts).tolist()
     cur_t = list(t)
     k = 1
     while k < p:
         cur_t = [max(cur_t[i] + ts, cur_t[(i - k) % p] + tp) for i in range(p)]
         k <<= 1
     return cur_t
+
+
+def _barrier_kernel(np, p: int, v, tp: float, ts: float):
+    """Array form of the dissemination-barrier rounds (array in/out)."""
+    k = 1
+    while k < p:
+        v = np.maximum(v + ts, np.roll(v, k) + tp)
+        k <<= 1
+    return v
+
+
+def array_schedule(kind, fabric, p: int, nbytes: int, t_arr,
+                   root: int = 0, np=None):
+    """Whole-vector schedule for phase-compiled pricing, or ``None``.
+
+    Takes and returns the clock vector as an ndarray, skipping the
+    list-API round trip of :data:`SCHEDULES` — on a 100k-rank vector the
+    ``tolist``/``asarray`` conversions alone dominate the pricing wall.
+    Serves only the kinds with an array kernel (allreduce, barrier);
+    callers fall back to the list-API schedule for the rest.  Output is
+    bit-identical to the corresponding ``*_schedule``.
+    """
+    if np is None:
+        np = _numpy()
+    if np is None or p == 1:
+        return None
+    if kind == "barrier":
+        tp, ts, _ = _wire(fabric, 0)
+        return _barrier_kernel(np, p, t_arr, tp, ts)
+    if kind == "allreduce":
+        tp, ts, eager = _wire(fabric, nbytes)
+        tred = fabric.reduce_time(nbytes)
+        pow2 = 1 << int(math.log2(p))
+        return _allreduce_kernel(
+            np, p, t_arr, tp, ts, eager, tred, pow2, p - pow2
+        )
+    return None
 
 
 #: Schedule functions by collective kind (the fast path's dispatch table).
@@ -746,7 +911,12 @@ SCHEDULES = {
     "allgather": allgather_schedule,
     "alltoall": alltoall_schedule,
     "barrier": barrier_schedule,
+    "gather": gather_schedule,
+    "scatter": scatter_schedule,
 }
+
+#: Collectives whose schedule takes a ``root`` keyword argument.
+ROOTED_COLLECTIVES = frozenset({"bcast", "reduce", "gather", "scatter"})
 
 
 # ==========================================================================

@@ -18,7 +18,17 @@ This module compiles them instead, in three stages:
    unsupported operation encountered mid-replay raises
    :class:`ReplayFallback` and the job transparently re-runs stepped.
 
-2. **Max-plus replay.**  Rank mains run unmodified against a
+2. **Vectorized phase pricing.**  When numpy is available and the job is
+   large enough (``n_ranks >= VECTOR_MIN_RANKS``, or ``vector=True``),
+   :mod:`repro.mpi.phasec` first tries to lower the rank program to a
+   :class:`~repro.mpi.phasec.PhaseProgram` and price it with one
+   whole-vector max-plus update per communication phase — O(phases)
+   array ops instead of O(P·ops) trampoline resumptions.  The
+   recurrences are the replay's own equations evaluated in the same
+   float order, so elapsed agrees bit-for-bit; per-rank return values
+   stay on the replay path and materialize lazily on first access.
+
+3. **Max-plus replay.**  Rank mains run unmodified against a
    :class:`_ReplayComm` — a drop-in for the stepped
    :class:`~repro.mpi.api.Communicator` that advances a per-rank scalar
    clock through the engine's *exact* timing recurrences (eager
@@ -28,17 +38,24 @@ This module compiles them instead, in three stages:
    moved for real, so results are bit-identical; times agree with the
    stepped engine to float precision (the test suite gates 1e-9).
 
-3. **Memoization.**  A successful replay is stored in an
+4. **Memoization.**  A successful replay is stored in an
    :class:`~repro.perf.cache.EvalCache` keyed by the fingerprint of
    ``(rank program, fabric, size)`` — rank-program callables fingerprint
    by bytecode digest, defaults and closure state (see
    :func:`repro.perf.cache.fingerprint`) — so a repeated point in a
    sweep returns its :class:`~repro.mpi.runtime.JobResult` in O(1)
-   without replaying, let alone stepping, anything.
+   without replaying, let alone stepping, anything.  Vector-priced jobs
+   memoize their elapsed time only (returns stay lazy).
 
-Jobs that carry a tracer, verifier or fault plan, run on a resolver or
-time-varying fabric, or were built with ``fast_collectives=False``
-never enter the replay: they go straight to the stepped engine.
+A measured crossover heuristic (:func:`_stepped_predicted_cheaper`)
+guards the scalar replay: per-op costs put the stepped engine at
+~``STEP_EVENTS_PER_OP × STEP_COST_S`` against the replay's
+``REPLAY_OP_COST_S`` per op, so replay is preferred whenever its per-op
+cost is lower — both walls scale with the same op count, making the
+decision size-independent.  Jobs that carry a tracer, verifier or fault
+plan, run on a resolver or time-varying fabric, or were built with
+``fast_collectives=False`` never enter the replay: they go straight to
+the stepped engine.
 """
 
 from __future__ import annotations
@@ -47,16 +64,56 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
+from repro.analyze.staticcheck import rank_program_profile
 from repro.errors import ConfigError
-from repro.mpi.collectives import SCHEDULES
+from repro.mpi.collectives import ROOTED_COLLECTIVES, SCHEDULES
 from repro.mpi.fabrics import Fabric
 from repro.mpi.fastpath import _RESULTS
 from repro.mpi.messages import ANY_SOURCE, ANY_TAG
+from repro.mpi.phasec import LowerFallback, lower, price
 from repro.mpi.runtime import JobResult, MpiJob, RankMain
 from repro.obs.tracer import NULL_CONTEXT
+from repro.perf.batch import HAVE_NUMPY
 from repro.simcore import Engine, Timeout
 
-__all__ = ["CompileStats", "ReplayFallback", "compiled_mpiexec", "replay"]
+__all__ = [
+    "CompileStats",
+    "ReplayFallback",
+    "compiled_mpiexec",
+    "job_fastpath",
+    "replay",
+]
+
+#: Below this rank count the vectorized phase backend is not selected
+#: automatically: numpy dispatch overhead beats the scalar replay's
+#: trampoline on tiny clock vectors (pass ``vector=True`` to force it).
+VECTOR_MIN_RANKS = 128
+
+#: Measured per-step cost of the event engine (generator resumption +
+#: envelope match + heap ops), seconds.
+STEP_COST_S = 5.6e-6
+
+#: Measured per-op cost of the scalar replay trampoline, seconds.
+REPLAY_OP_COST_S = 2.4e-6
+
+#: Engine steps one replay op corresponds to (an eager p2p is ~a dozen
+#: engine events but a single replay delivery).
+STEP_EVENTS_PER_OP = 14.0
+
+
+def _stepped_predicted_cheaper() -> bool:
+    """Crossover heuristic: would the stepped engine out-price the
+    scalar replay on this job?
+
+    Both predicted walls are proportional to the same op count
+    (``ops × STEP_EVENTS_PER_OP × STEP_COST_S`` vs
+    ``ops × REPLAY_OP_COST_S``), so the op count cancels and the
+    decision reduces to comparing per-op costs.  With the measured
+    constants the replay always wins — the 0.73x-at-P=64 point in the
+    original baseline was one-time import cost, since hoisted — but the
+    guard stays live so re-measured constants (or tests) can flip it.
+    """
+    return STEP_EVENTS_PER_OP * STEP_COST_S < REPLAY_OP_COST_S
 
 
 class ReplayFallback(Exception):
@@ -78,18 +135,22 @@ _PARK = object()
 class CompileStats:
     """Where one :func:`compiled_mpiexec` call actually ran.
 
-    ``path`` is ``"memo"`` (warm cache hit), ``"replay"`` (max-plus
-    replay) or ``"stepped"`` (fallback to the event engine); ``reason``
-    names the veto when the replay was refused or abandoned.
-    ``engine_steps`` counts :meth:`~repro.simcore.engine.Engine.timeline`
-    steps — zero for memo and replay paths, the bench's proof that a warm
-    hit steps no event at all.
+    ``path`` is ``"memo"`` (warm cache hit), ``"vector"`` (array-form
+    phase recurrences), ``"replay"`` (max-plus replay) or ``"stepped"``
+    (fallback to the event engine); ``reason`` names the veto when the
+    replay was refused or abandoned.  ``engine_steps`` counts
+    :meth:`~repro.simcore.engine.Engine.timeline` steps — zero for memo,
+    vector and replay paths, the bench's proof that a warm hit steps no
+    event at all.  On the vector path ``phases`` is the lowered
+    program's phase count and ``replay_ops`` its op estimate (the
+    trampoline resumptions the scalar replay would have spent).
     """
 
     path: str = ""
     reason: str = ""
     engine_steps: int = 0
     replay_ops: int = 0
+    phases: int = 0
     cache_hit: bool = False
 
 
@@ -182,9 +243,9 @@ class _ReplayComm:
 
     Method-compatible with the stepped :class:`~repro.mpi.api.Communicator`
     for everything a static job may call; operations outside the replayed
-    vocabulary (wildcard receives, ``irecv``, timeouts, deadlines,
-    ``gather``/``scatter``) raise :class:`ReplayFallback`, which sends
-    the whole job back to the stepped engine.
+    vocabulary (wildcard receives, ``irecv``, timeouts, deadlines) raise
+    :class:`ReplayFallback`, which sends the whole job back to the
+    stepped engine.
     """
 
     __slots__ = ("_job", "rank", "size", "_coll_seq")
@@ -338,7 +399,7 @@ class _ReplayComm:
             del job.coll_instances[seq]
             inst.finishes = SCHEDULES[kind](
                 job.fabric, p, nbytes,
-                **({"root": root} if kind in ("bcast", "reduce") else {}),
+                **({"root": root} if kind in ROOTED_COLLECTIVES else {}),
                 arrivals=inst.arrivals,
             )
             inst.results = _RESULTS[kind](inst)
@@ -409,12 +470,26 @@ class _ReplayComm:
         return (yield from self._collective("alltoall", values, nbytes))
 
     def gather(self, value: Any, root: int = 0, nbytes: int = 8,
-               deadline: Optional[float] = None):
-        raise ReplayFallback("gather has no analytic schedule")
+               deadline: Optional[float] = None) -> Generator:
+        if deadline is not None:
+            raise ReplayFallback("deadline-bounded collective")
+        self._check_peer(root)
+        if self.size == 1:
+            return [value]
+        return (yield from self._collective("gather", value, nbytes,
+                                            root=root))
 
     def scatter(self, values, root: int = 0, nbytes: int = 8,
-                deadline: Optional[float] = None):
-        raise ReplayFallback("scatter has no analytic schedule")
+                deadline: Optional[float] = None) -> Generator:
+        if deadline is not None:
+            raise ReplayFallback("deadline-bounded collective")
+        self._check_peer(root)
+        if self.size == 1:
+            if values is None or len(values) != 1:
+                raise ConfigError("scatter root needs 1 values")
+            return values[0]
+        return (yield from self._collective("scatter", values, nbytes,
+                                            root=root))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<_ReplayComm rank {self.rank}/{self.size}>"
@@ -556,6 +631,113 @@ def _refusal(
     return None
 
 
+def _lazy_returns(
+    n_ranks: int, fabric: Any, main: RankMain
+) -> Callable[[], List[Any]]:
+    """Thunk materializing per-rank values through the scalar replay.
+
+    Vector pricing never moves payloads; when a vector-priced result's
+    ``returns`` is first read, this replays the job for real so the
+    values are bit-identical to the stepped engine.  The program already
+    replayed successfully once (lowering is stricter than replay), so
+    the thunk cannot fall back.
+    """
+
+    def factory() -> List[Any]:
+        return _ReplayJob(n_ranks, fabric).run(main)._returns
+
+    return factory
+
+
+def _memo_hit(
+    hit: Tuple[float, Optional[List[Any]]],
+    n_ranks: int,
+    fabric: Any,
+    main: RankMain,
+    st: CompileStats,
+) -> JobResult:
+    """Rebuild a JobResult from a warm cache entry."""
+    elapsed, returns = hit
+    st.path, st.cache_hit = "memo", True
+    if returns is None:  # vector-priced entry: returns stay lazy
+        return JobResult(
+            elapsed=elapsed, returns=None, mode="memo", n_ranks=n_ranks,
+            returns_factory=_lazy_returns(n_ranks, fabric, main),
+        )
+    return JobResult(elapsed=elapsed, returns=list(returns), mode="memo")
+
+
+def _compile_or_none(
+    n_ranks: int,
+    fabric: Any,
+    main: RankMain,
+    *,
+    cache: Optional[Any],
+    key: Optional[Any],
+    st: CompileStats,
+    vector: Optional[bool],
+) -> Optional[JobResult]:
+    """Vector pricing or scalar replay; ``None`` (with ``st.reason``
+    set) means the caller must run the job stepped."""
+    profile = rank_program_profile(main)
+    vetoes = profile.veto_reasons()
+    if vetoes and not profile.unknown:
+        st.reason = f"static profile: {vetoes[0]}"
+        return None
+    want_vector = (
+        vector if vector is not None
+        else HAVE_NUMPY and n_ranks >= VECTOR_MIN_RANKS
+    )
+    if want_vector and n_ranks > 1:
+        try:
+            program = lower(main, n_ranks, fabric=fabric)
+            elapsed = price(program, fabric)
+        except LowerFallback:
+            pass  # not phase-uniform: the scalar paths decide below
+        except Exception:
+            # A trace-surfaced error (bad peer, mis-sized scatter, a bug
+            # in the rank program): fall through — replay or the stepped
+            # engine reproduces the genuine error.
+            pass
+        else:
+            st.path = "vector"
+            st.phases = len(program.phases)
+            st.replay_ops = program.op_estimate
+            if cache is not None and key is not None:
+                cache.put(key, (elapsed, None))
+            return JobResult(
+                elapsed=elapsed, returns=None, mode="vector",
+                n_ranks=n_ranks,
+                returns_factory=_lazy_returns(n_ranks, fabric, main),
+            )
+    if _stepped_predicted_cheaper():
+        st.reason = "crossover: stepped engine predicted cheaper"
+        return None
+    job = _ReplayJob(n_ranks, fabric)
+    try:
+        result = job.run(main)
+    except ReplayFallback as exc:
+        st.reason = str(exc)
+        return None
+    except ConfigError:
+        # Same error the stepped engine raises; let the fallback
+        # reproduce it so behaviour is byte-for-byte transparent.
+        st.reason = "config error during replay"
+        return None
+    except Exception as exc:
+        # Anything else (a main poking engine internals the replay
+        # comm lacks, a bug in the rank program) also falls back:
+        # rank programs are deterministic, so the stepped run either
+        # succeeds for real or raises the genuine error.
+        st.reason = f"replay error: {type(exc).__name__}"
+        return None
+    st.path = "replay"
+    st.replay_ops = job.replay_ops
+    if cache is not None and key is not None:
+        cache.put(key, (result.elapsed, list(result._returns)))
+    return result
+
+
 def compiled_mpiexec(
     n_ranks: int,
     fabric: Any,
@@ -568,16 +750,24 @@ def compiled_mpiexec(
     verifier: Optional[Any] = None,
     cache: Optional[Any] = None,
     stats: Optional[CompileStats] = None,
+    vector: Optional[bool] = None,
 ) -> JobResult:
     """Run ``main`` like :func:`~repro.mpi.runtime.mpiexec`, compiled.
 
     Resolution order: warm :class:`~repro.perf.cache.EvalCache` memo →
-    max-plus replay (memoizing on success) → transparent stepped
-    fallback.  The stepped fallback accepts every job
-    :func:`~repro.mpi.runtime.mpiexec` accepts, with identical results
-    and identical errors, so callers can substitute this function
-    unconditionally.  A memo hit returns stored per-rank values; treat
-    them as read-only (runs sharing a cache share the objects).
+    vectorized phase recurrences (numpy, large P) → max-plus replay
+    (memoizing on success) → transparent stepped fallback.  The stepped
+    fallback accepts every job :func:`~repro.mpi.runtime.mpiexec`
+    accepts, with identical results and identical errors, so callers can
+    substitute this function unconditionally.  A memo hit returns stored
+    per-rank values; treat them as read-only (runs sharing a cache share
+    the objects).
+
+    ``vector`` overrides the backend selection: ``True`` demands the
+    vectorized phase backend (falling back to scalar paths only when the
+    program doesn't lower), ``False`` forbids it, ``None`` (default)
+    selects it when numpy is importable and
+    ``n_ranks >= VECTOR_MIN_RANKS``.
 
     Pass a :class:`CompileStats` as ``stats`` to observe which path ran.
     """
@@ -586,44 +776,18 @@ def compiled_mpiexec(
         n_ranks, fabric, engine, tracer, fast_collectives, fault_plan, verifier
     )
     key = None
-    if reason is None and cache is not None:
-        key = cache.key("mpijob", main, fabric, n_ranks)
-        hit = cache.get(key)
-        if hit is not None:
-            elapsed, returns = hit
-            st.path, st.cache_hit = "memo", True
-            return JobResult(elapsed=elapsed, returns=list(returns), mode="memo")
     if reason is None:
-        # Advisory static pre-screen.  Imported lazily: repro.analyze's
-        # package init pulls in the verifier, which imports repro.mpi.
-        from repro.analyze.staticcheck import rank_program_profile
-
-        profile = rank_program_profile(main)
-        vetoes = profile.veto_reasons()
-        if vetoes and not profile.unknown:
-            reason = f"static profile: {vetoes[0]}"
-    if reason is None:
-        job = _ReplayJob(n_ranks, fabric)
-        try:
-            result = job.run(main)
-        except ReplayFallback as exc:
-            reason = str(exc)
-        except ConfigError:
-            # Same error the stepped engine raises; let the fallback
-            # reproduce it so behaviour is byte-for-byte transparent.
-            reason = "config error during replay"
-        except Exception as exc:
-            # Anything else (a main poking engine internals the replay
-            # comm lacks, a bug in the rank program) also falls back:
-            # rank programs are deterministic, so the stepped run either
-            # succeeds for real or raises the genuine error.
-            reason = f"replay error: {type(exc).__name__}"
-        else:
-            st.path = "replay"
-            st.replay_ops = job.replay_ops
-            if cache is not None and key is not None:
-                cache.put(key, (result.elapsed, list(result._returns)))
+        if cache is not None:
+            key = cache.key("mpijob", main, fabric, n_ranks)
+            hit = cache.get(key)
+            if hit is not None:
+                return _memo_hit(hit, n_ranks, fabric, main, st)
+        result = _compile_or_none(
+            n_ranks, fabric, main, cache=cache, key=key, st=st, vector=vector
+        )
+        if result is not None:
             return result
+        reason = st.reason
     st.path, st.reason = "stepped", reason or ""
     eng = engine if engine is not None else Engine()
     stepped = MpiJob(
@@ -635,3 +799,55 @@ def compiled_mpiexec(
     result = stepped.run()
     st.engine_steps = eng.timeline()
     return result
+
+
+def job_fastpath(
+    job: MpiJob,
+    *,
+    cache: Optional[Any] = None,
+    stats: Optional[CompileStats] = None,
+    vector: Optional[bool] = None,
+) -> Optional[JobResult]:
+    """Price an already-launched :class:`~repro.mpi.runtime.MpiJob`
+    without stepping it, or return ``None`` when it must step.
+
+    This is the engine behind ``MpiJob.run(compiled=True)``: the job's
+    construction already encodes the stepped-only vetoes (tracer,
+    verifier, fault plan, resolver fabric, ``fast_collectives=False``
+    all leave ``job.fast`` unset), so eligibility reduces to a uniform
+    fast-collectives job whose engine has not stepped yet.
+    """
+    st = stats if stats is not None else CompileStats()
+    main = job._main
+    if main is None:
+        st.reason = "job not launched"
+        return None
+    if job.tracer is not None:
+        st.reason = "tracer attached"
+        return None
+    if job.verifier is not None:
+        st.reason = "dynamic verifier armed"
+        return None
+    if job.fault_plan is not None:
+        st.reason = "fault plan armed"
+        return None
+    if job.fast is None:
+        st.reason = "no uniform fast-collectives fabric"
+        return None
+    if job.engine.now != 0 or job.engine.timeline() != 0:
+        st.reason = "engine already stepped"
+        return None
+    fabric = job.fast.fabric
+    if getattr(fabric, "time_varying", False):
+        st.reason = "time-varying fabric"
+        return None
+    n_ranks = job.n_ranks
+    key = None
+    if cache is not None:
+        key = cache.key("mpijob", main, fabric, n_ranks)
+        hit = cache.get(key)
+        if hit is not None:
+            return _memo_hit(hit, n_ranks, fabric, main, st)
+    return _compile_or_none(
+        n_ranks, fabric, main, cache=cache, key=key, st=st, vector=vector
+    )

@@ -39,7 +39,7 @@ import operator
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigError
-from repro.mpi.collectives import SCHEDULES
+from repro.mpi.collectives import ROOTED_COLLECTIVES, SCHEDULES
 from repro.simcore import Timeout, WaitEvent
 from repro.simcore.resources import Event
 
@@ -121,7 +121,7 @@ class FastCollectives:
             del self._instances[seq]  # last arrival resolves the occurrence
             finishes = SCHEDULES[kind](
                 self.fabric, self.size, nbytes,
-                **({"root": root} if kind in ("bcast", "reduce") else {}),
+                **({"root": root} if kind in ROOTED_COLLECTIVES else {}),
                 arrivals=inst.arrivals,
             )
             results = _RESULTS[kind](inst)
@@ -233,6 +233,21 @@ def _barrier_results(inst: _Instance) -> List[Any]:
     return [None] * len(inst.values)
 
 
+def _gather_results(inst: _Instance) -> List[Any]:
+    out: List[Any] = [None] * len(inst.values)
+    out[inst.root] = list(inst.values)
+    return out
+
+
+def _scatter_results(inst: _Instance) -> List[Any]:
+    p = len(inst.values)
+    vals = inst.values[inst.root]
+    if vals is None or len(vals) != p:
+        # Same error the executable algorithm raises at the root.
+        raise ConfigError(f"scatter root needs {p} values")
+    return list(vals)
+
+
 _RESULTS: Dict[str, Callable[[_Instance], List[Any]]] = {
     "bcast": _bcast_results,
     "reduce": _reduce_results,
@@ -240,4 +255,6 @@ _RESULTS: Dict[str, Callable[[_Instance], List[Any]]] = {
     "allgather": _allgather_results,
     "alltoall": _alltoall_results,
     "barrier": _barrier_results,
+    "gather": _gather_results,
+    "scatter": _scatter_results,
 }

@@ -62,25 +62,51 @@ class JobResult:
     mode:
         How the result was produced: ``"stepped"`` (the event engine),
         ``"replay"`` (:mod:`repro.mpi.compile`'s analytic max-plus
-        replay) or ``"memo"`` (a warm :class:`~repro.perf.cache.EvalCache`
-        hit that stepped no event at all).
+        replay), ``"vector"`` (:mod:`repro.mpi.phasec`'s array-form
+        max-plus recurrences) or ``"memo"`` (a warm
+        :class:`~repro.perf.cache.EvalCache` hit that stepped no event
+        at all).
+
+    Vector-priced (and vector-memoized) results carry no materialized
+    per-rank values: payload movement stays on the scalar replay, so
+    :attr:`returns` runs it lazily on first access (``returns_factory``)
+    and the values remain bit-identical to the stepped engine.
     """
 
-    __slots__ = ("elapsed", "_returns", "completed", "finished", "mode")
+    __slots__ = ("elapsed", "_returns", "_returns_factory", "_n_ranks",
+                 "completed", "finished", "mode")
 
     def __init__(
         self,
         elapsed: float,
-        returns: List[Any],
+        returns: Optional[List[Any]],
         completed: bool = True,
         finished: Optional[List[bool]] = None,
         mode: str = "stepped",
+        n_ranks: Optional[int] = None,
+        returns_factory: Optional[Callable[[], List[Any]]] = None,
     ):
+        if returns is None:
+            if n_ranks is None or returns_factory is None:
+                raise ConfigError(
+                    "lazy JobResult needs n_ranks and returns_factory"
+                )
+            self._n_ranks = n_ranks
+        else:
+            self._n_ranks = len(returns)
         self.elapsed = elapsed
         self._returns = returns
+        self._returns_factory = returns_factory
         self.completed = completed
-        self.finished = [True] * len(returns) if finished is None else finished
+        self.finished = (
+            [True] * self._n_ranks if finished is None else finished
+        )
         self.mode = mode
+
+    def _materialize(self) -> List[Any]:
+        if self._returns is None:
+            self._returns = self._returns_factory()
+        return self._returns
 
     @property
     def returns(self) -> List[Any]:
@@ -97,18 +123,18 @@ class JobResult:
                 f"job stopped with {len(pending)} unfinished rank(s) "
                 f"{pending[:8]}; use partial_returns() to read anyway"
             )
-        return self._returns
+        return self._materialize()
 
     def partial_returns(self, default: Any = None) -> List[Any]:
         """Per-rank return values with ``default`` for unfinished ranks."""
         return [
             v if done else default
-            for v, done in zip(self._returns, self.finished)
+            for v, done in zip(self._materialize(), self.finished)
         ]
 
     @property
     def n_ranks(self) -> int:
-        return len(self._returns)
+        return self._n_ranks
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "complete" if self.completed else (
@@ -196,6 +222,7 @@ class MpiJob:
             self.fast = FastCollectives(fabric, n_ranks)
         self.mailboxes = [Store(name=f"{name}.mbox[{r}]") for r in range(n_ranks)]
         self._procs = []
+        self._main: Optional[RankMain] = None
         if verifier is not None:
             verifier.attach(self)
 
@@ -229,6 +256,7 @@ class MpiJob:
         """Spawn ``main(comm)`` once per rank (with lifetime spans when
         the job carries a tracer) and arm any fault injectors."""
         tr = active(self.tracer)
+        self._main = main  # the compiled fast path reprices from the original
         for rank in range(self.n_ranks):
             comm = self.communicator(rank)
             gen = main(comm)
@@ -244,15 +272,42 @@ class MpiJob:
 
             arm(self.engine, self.fault_plan, self._procs, tracer=tr)
 
-    def run(self, until: Optional[float] = None) -> JobResult:
+    def run(
+        self,
+        until: Optional[float] = None,
+        *,
+        compiled: bool = False,
+        cache: Optional[Any] = None,
+        stats: Optional[Any] = None,
+        vector: Optional[bool] = None,
+    ) -> JobResult:
         """Run the engine (to time ``until`` if given).
 
         Returns a :class:`JobResult`; when ``until`` stops the clock
         before every rank finishes, the result's ``completed`` flag is
         False and its ``returns`` guard against misreads.
+
+        ``compiled=True`` asks :mod:`repro.mpi.compile` to price the job
+        without stepping it (memo → vectorized phase recurrences →
+        scalar max-plus replay, per its selection heuristics); any
+        refusal falls back to the stepped engine transparently.
+        ``cache``/``stats``/``vector`` are forwarded to the compiled
+        selection; with ``stats`` given the stepped fallback journals
+        ``path="stepped"`` and its step count.
         """
+        if compiled and until is None:
+            from repro.mpi.compile import job_fastpath
+
+            result = job_fastpath(
+                self, cache=cache, stats=stats, vector=vector
+            )
+            if result is not None:
+                return result
         start = self.engine.now
         self.engine.run(until=until)
+        if stats is not None:
+            stats.path = "stepped"
+            stats.engine_steps = self.engine.timeline()
         finished = [p.finished for p in self._procs]
         return JobResult(
             elapsed=self.engine.now - start,

@@ -18,7 +18,8 @@ from __future__ import annotations
 import warnings
 from typing import Any, Optional
 
-__all__ = ["HAVE_NUMPY", "get_numpy", "warn_scalar_fallback"]
+__all__ = ["HAVE_NUMPY", "get_numpy", "reset_fallback_warning",
+           "warn_scalar_fallback"]
 
 try:  # pragma: no cover - exercised in the no-numpy CI job
     import numpy as _np
@@ -34,6 +35,12 @@ _warned = False
 def get_numpy() -> Optional[Any]:
     """The ``numpy`` module, or ``None`` when it is not installed."""
     return _np
+
+
+def reset_fallback_warning() -> None:
+    """Re-arm the once-per-process fallback warning (test hook)."""
+    global _warned
+    _warned = False
 
 
 def warn_scalar_fallback(context: str) -> None:
