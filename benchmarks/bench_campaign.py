@@ -1,7 +1,7 @@
-"""Campaign kill-and-resume gate: SIGKILL a run, resume it, compare.
+"""Campaign crash gates: SIGKILL the runner, then SIGKILL a worker.
 
 The crash-safety contract of :mod:`repro.campaign`, exercised for real —
-with an actual ``SIGKILL``, not a simulated one:
+with actual ``SIGKILL``\\ s, not simulated ones:
 
 1. **reference** — an uninterrupted serial ``repro campaign run`` of the
    halo campaign (numpy-free) under its demo fault plan, writing the
@@ -9,7 +9,12 @@ with an actual ``SIGKILL``, not a simulated one:
 2. **kill** — the same campaign started fresh in a subprocess with a
    per-point throttle, ``SIGKILL``\\ ed once enough points are journaled
    (mid-shard, so a half-written journal line is likely);
-3. **resume** — ``repro campaign resume`` against the killed journal.
+3. **resume** — ``repro campaign resume`` against the killed journal;
+4. **net** — the campaign served over TCP (``--serve``) to two
+   ``repro campaign worker`` subprocesses, one of which is
+   ``SIGKILL``\\ ed mid-shard; the survivor drains the queue.  The
+   completed journal is then split in half and reconciled back with
+   ``repro campaign merge`` — the multi-runner reconciliation path.
 
 Gates:
 
@@ -17,14 +22,19 @@ Gates:
 * the resume re-executed **zero** journaled points
   (``replayed == journaled_before`` and ``executed = total - replayed``);
 * at least one ``capture_failures`` death was retried under the relaxed
-  fault plan and recovered.
+  fault plan and recovered;
+* the worker-kill run completes every point (zero lost), journals zero
+  duplicate keys, reassigns the dead worker's shard(s), and its payload
+  is byte-identical to the reference;
+* resuming from the merged split journals re-executes zero points and
+  reproduces the same payload byte-for-byte.
 
 Writes ``BENCH_campaign.json`` so CI and the nightly can gate on it::
 
     PYTHONPATH=src python benchmarks/bench_campaign.py
     PYTHONPATH=src python benchmarks/bench_campaign.py --quick
 
-Under pytest it runs the quick gate as a smoke test.
+Under pytest it runs the quick gates as a smoke test.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ import argparse
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -115,6 +126,162 @@ def _kill_mid_run(journal: str, quick: bool, min_points: int) -> Dict[str, Any]:
     return {"killed": False, "throttle_ms": throttle}
 
 
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _worker_cmd(port: int, name: str) -> List[str]:
+    return [
+        sys.executable, "-m", "repro", "campaign", "worker",
+        "--connect", f"127.0.0.1:{port}", "--name", name,
+        "--heartbeat-s", "0.5",
+    ]
+
+
+def _reap(*procs: subprocess.Popen) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        try:
+            proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - watchdog
+            pass
+
+
+def _journal_point_keys(journal: str) -> List[str]:
+    keys = []
+    with open(journal, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # the torn tail the victim may have left
+            if record.get("kind") == "point":
+                keys.append(record["key"])
+    return keys
+
+
+def _net_kill_run(tmp: str, quick: bool, min_points: int) -> Dict[str, Any]:
+    """Serve the campaign to two workers and SIGKILL one mid-shard.
+
+    Returns the net record (kill details, run stats, artifact paths).
+    Retries with a doubled throttle if the run finishes before the kill
+    lands, or if the victim held no lease when it died (the reassignment
+    gate needs a shard to actually come back from the dead).
+    """
+    journal = os.path.join(tmp, "net.jsonl")
+    out = os.path.join(tmp, "net.json")
+    stats_path = os.path.join(tmp, "net_stats.json")
+    throttle = THROTTLE_MS
+    for attempt in range(1, KILL_ATTEMPTS + 1):
+        for path in (journal, out, stats_path):
+            if os.path.exists(path):
+                os.unlink(path)
+        port = _free_port()
+        t0 = time.perf_counter()
+        server = subprocess.Popen(
+            _campaign_cmd(
+                "run", journal, "--out", out, "--stats", stats_path,
+                "--serve", f"127.0.0.1:{port}", "--min-workers", "2",
+                "--throttle-ms", str(throttle), quick=quick,
+            ),
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        victim = subprocess.Popen(
+            _worker_cmd(port, "victim"), env=_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        survivor = subprocess.Popen(
+            _worker_cmd(port, "survivor"), env=_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        killed = False
+        at_kill = 0
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if server.poll() is not None:
+                break  # finished before the kill: retry slower
+            at_kill = _journaled_points(journal)
+            if at_kill >= min_points:
+                victim.send_signal(signal.SIGKILL)
+                victim.wait(timeout=30.0)
+                killed = True
+                break
+            time.sleep(0.01)
+        if not killed:
+            _reap(server, victim, survivor)
+            throttle *= 2.0
+            continue
+        try:
+            rc = server.wait(timeout=120.0)
+            survivor.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - watchdog
+            _reap(server, victim, survivor)
+            throttle *= 2.0
+            continue
+        stats = json.load(open(stats_path)) if os.path.exists(stats_path) else {}
+        if rc == 0 and stats.get("reassigned", 0) < 1:
+            # The victim died between shards — no lease to reassign, so
+            # nothing was proven.  Slow the shards down and try again.
+            throttle *= 2.0
+            continue
+        return {
+            "kill": {
+                "attempt": attempt,
+                "throttle_ms": throttle,
+                "journaled_at_kill": at_kill,
+                "killed": True,
+            },
+            "wall": time.perf_counter() - t0,
+            "returncode": rc,
+            "stats": stats,
+            "journal": journal,
+            "out": out,
+        }
+    return {"kill": {"killed": False, "throttle_ms": throttle}}
+
+
+def _merge_split_journals(tmp: str, journal: str, quick: bool) -> Dict[str, Any]:
+    """Split a completed journal in half, merge, resume from the merge.
+
+    The halves are byte-copies of the original's sealed lines (header +
+    every other point), i.e. exactly what two independent runners of the
+    same spec would have journaled.
+    """
+    with open(journal, "r", encoding="utf-8") as fh:
+        lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    header, points = lines[0], lines[1:]
+    halves = []
+    for tag, subset in (("a", points[::2]), ("b", points[1::2])):
+        path = os.path.join(tmp, f"half-{tag}.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join([header, *subset]) + "\n")
+        halves.append(path)
+    merged = os.path.join(tmp, "merged.jsonl")
+    subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "merge",
+         *halves, "--journal", merged],
+        env=_env(), check=True, stdout=subprocess.DEVNULL,
+    )
+    merged_out = os.path.join(tmp, "merged.json")
+    merged_stats = os.path.join(tmp, "merged_stats.json")
+    subprocess.run(
+        _campaign_cmd(
+            "resume", merged, "--out", merged_out, "--stats", merged_stats,
+            quick=quick,
+        ),
+        env=_env(), check=True, stdout=subprocess.DEVNULL,
+    )
+    return {"stats": json.load(open(merged_stats)), "out": merged_out}
+
+
 def run_campaign_gate(
     quick: bool = False, output: Optional[str] = "BENCH_campaign.json"
 ) -> Dict[str, Any]:
@@ -157,6 +324,30 @@ def run_campaign_gate(
         )
         stats = json.load(open(res_stats))
         report["resume"] = {"wall": time.perf_counter() - t0, "stats": stats}
+
+        net = _net_kill_run(tmp, quick, min_points)
+        report["net"] = {"kill": net["kill"]}
+        if net["kill"].get("killed"):
+            ref_bytes = open(ref_out, "rb").read()
+            keys = _journal_point_keys(net["journal"])
+            merge = _merge_split_journals(tmp, net["journal"], quick)
+            nstats = net["stats"]
+            report["net"]["wall"] = net["wall"]
+            report["net"]["returncode"] = net["returncode"]
+            report["net"]["stats"] = nstats
+            report["net"]["merge_stats"] = merge["stats"]
+            report["net"]["gate"] = {
+                "payload_identical": ref_bytes == open(net["out"], "rb").read(),
+                "zero_lost": nstats.get("executed") == nstats.get("total"),
+                "duplicate_journal_keys": len(keys) - len(set(keys)),
+                "reassigned": nstats.get("reassigned", 0),
+                "failures": nstats.get("failures", 0),
+                "merge_payload_identical": (
+                    ref_bytes == open(merge["out"], "rb").read()
+                ),
+                "merge_reexecuted": merge["stats"]["executed"],
+            }
+
         report["gate"] = {
             "payload_identical": (
                 open(ref_out, "rb").read() == open(res_out, "rb").read()
@@ -201,6 +392,33 @@ def check_report(report: Dict[str, Any]) -> List[str]:
         )
     if report["resume"]["stats"]["failures"] != 0:
         bad.append("resumed campaign ended with unrecovered failures")
+    net = report.get("net", {})
+    if not net.get("kill", {}).get("killed"):
+        bad.append("never managed to SIGKILL a worker mid-campaign")
+        return bad
+    ngate = net["gate"]
+    if net.get("returncode") != 0:
+        bad.append("worker-kill campaign run exited non-zero")
+    if not ngate["payload_identical"]:
+        bad.append("worker-kill payload differs from the serial reference")
+    if not ngate["zero_lost"]:
+        bad.append("worker-kill run lost points (executed != total)")
+    if ngate["duplicate_journal_keys"] != 0:
+        bad.append(
+            f"{ngate['duplicate_journal_keys']} duplicate key(s) journaled "
+            "after the worker kill"
+        )
+    if ngate["reassigned"] < 1:
+        bad.append("the dead worker's shard was never reassigned")
+    if ngate["failures"] != 0:
+        bad.append("worker-kill campaign ended with unrecovered failures")
+    if not ngate["merge_payload_identical"]:
+        bad.append("merged split journals resumed to a different payload")
+    if ngate["merge_reexecuted"] != 0:
+        bad.append(
+            f"resume from the merged journals re-executed "
+            f"{ngate['merge_reexecuted']} point(s)"
+        )
     return bad
 
 
@@ -225,6 +443,34 @@ def render_report(report: Dict[str, Any]) -> str:
         ("retry recovered", report["gate"]["recovered"] >= 1),
     ):
         lines.append(f"  gate {name:<24} {'PASS' if ok else 'FAIL'}")
+    net = report.get("net", {})
+    if net.get("gate"):
+        nstats, ngate, nkill = net["stats"], net["gate"], net["kill"]
+        lines += [
+            "",
+            "worker-kill gate (two socket workers, one SIGKILLed)",
+            "",
+            f"  killed at: {nkill.get('journaled_at_kill', '?')} journaled "
+            f"points (throttle {nkill.get('throttle_ms', 0):.0f} ms, "
+            f"attempt {nkill.get('attempt', '?')})",
+            f"  survivor:  {nstats['executed']} executed, "
+            f"{nstats['reassigned']} shard(s) reassigned, "
+            f"wall {net['wall']:.2f}s",
+            f"  merge:     {net['merge_stats']['replayed']} replayed + "
+            f"{net['merge_stats']['executed']} executed from split journals",
+        ]
+        for name, ok in (
+            ("payload byte-identical", ngate["payload_identical"]),
+            ("zero lost / duplicated",
+             ngate["zero_lost"] and ngate["duplicate_journal_keys"] == 0),
+            ("shard reassigned", ngate["reassigned"] >= 1),
+            ("merge byte-identical",
+             ngate["merge_payload_identical"]
+             and ngate["merge_reexecuted"] == 0),
+        ):
+            lines.append(f"  gate {name:<24} {'PASS' if ok else 'FAIL'}")
+    elif not net.get("kill", {}).get("killed"):
+        lines += ["", "worker-kill gate: kill never landed (FAIL)"]
     return "\n".join(lines)
 
 
@@ -260,6 +506,8 @@ def test_campaign_gate_quick(tmp_path):
     assert out.exists()
     assert check_report(report) == []
     assert report["gate"]["payload_identical"]
+    assert report["net"]["gate"]["payload_identical"]
+    assert report["net"]["gate"]["merge_payload_identical"]
 
 
 if __name__ == "__main__":  # pragma: no cover

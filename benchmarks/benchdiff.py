@@ -13,8 +13,9 @@ What is compared per report family:
   (engine steps, point counts, ``identical``/``correct`` booleans).
 * **jobcompile** — every gate of ``bench_jobcompile.check_report`` on
   the fresh report, plus per-point replay/memo wall budgets.
-* **campaign** — every kill-and-resume gate boolean, plus reference and
-  resume wall budgets.
+* **campaign** — every kill-and-resume and worker-kill gate boolean,
+  plus reference and resume wall budgets (the killed legs retry with
+  doubled throttles, so their walls are not budgeted).
 
 Usage::
 
@@ -145,6 +146,11 @@ def diff_campaign(base: Dict[str, Any], fresh: Dict[str, Any], d: Diff) -> None:
         "campaign.gate.payload_identical",
         True,
         fresh["gate"]["payload_identical"],
+    )
+    d.exact(
+        "campaign.net.gate.payload_identical",
+        True,
+        fresh.get("net", {}).get("gate", {}).get("payload_identical"),
     )
 
 

@@ -8,7 +8,24 @@ figure benchmark built on them genuinely need the array stack, so when
 numpy is absent their test modules are skipped at collection instead of
 erroring at import.  CI exercises this exact configuration in the
 ``tier1-no-numpy`` job.
+
+Also resets the once-per-process scalar-fallback warning gate around
+every test so warning-capturing tests cannot order-depend on which
+module tripped the fallback first.
 """
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _rearm_fallback_warning():
+    """Isolate the process-global scalar-fallback warning per test."""
+    from repro.perf.batch import reset_fallback_warning
+
+    reset_fallback_warning()
+    yield
+    reset_fallback_warning()
+
 
 try:
     import numpy  # noqa: F401

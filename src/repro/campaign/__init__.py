@@ -5,9 +5,10 @@ the shape of every figure in the paper (Figs 4–27 are all sweep
 campaigns).  This package makes campaigns:
 
 * **shardable** — the grid is cut into work units and executed through
-  an async job queue over N workers (an in-process pool today; the
-  :class:`~repro.campaign.queue.ShardExecutor` interface is
-  socket/multi-host-ready);
+  an async job queue over N workers: an in-process pool, or remote
+  hosts via :class:`~repro.campaign.net.SocketShardExecutor` and
+  ``repro campaign worker`` (journals from several runners reconcile
+  with :meth:`~repro.campaign.journal.Journal.merge`);
 * **resumable** — every completed point is journaled to an append-only
   on-disk store keyed by the :func:`~repro.perf.cache.fingerprint` of
   (campaign spec, point).  A killed or crashed run resumes from the
@@ -32,7 +33,14 @@ from repro.campaign.journal import (
     decode_result,
     encode_result,
 )
-from repro.campaign.queue import PointRecord, ShardExecutor, ShardResult
+from repro.campaign.net import SocketShardExecutor, run_worker
+from repro.campaign.queue import (
+    PointRecord,
+    ShardExecutor,
+    ShardResult,
+    make_executor,
+    register_executor,
+)
 from repro.campaign.retry import RetryPolicy
 from repro.campaign.runner import CampaignRun, RunStats, run_campaign
 from repro.campaign.spec import CampaignSpec
@@ -48,8 +56,12 @@ __all__ = [
     "RunStats",
     "ShardExecutor",
     "ShardResult",
+    "SocketShardExecutor",
     "SweepCheckpoint",
     "decode_result",
     "encode_result",
+    "make_executor",
+    "register_executor",
     "run_campaign",
+    "run_worker",
 ]

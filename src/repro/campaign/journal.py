@@ -7,7 +7,17 @@ line is one completed point keyed by the
 record carries a truncated SHA-256 of its own canonical form, so a line
 that was half-written when the process died — or corrupted afterwards —
 is detected and *skipped with a warning* on resume instead of crashing
-it.
+it.  One damage shape is expected rather than alarming: a ``SIGKILL``
+mid-append leaves a torn *final* line, which replays silently (the
+point simply re-executes); only corruption strictly inside the journal
+warrants the warning.
+
+Journals written by several runners of one campaign (multi-host socket
+execution, racing resumes) reconcile through :meth:`Journal.merge`:
+headers must agree on the spec fingerprint, duplicate keys resolve
+first-write-wins with payload-digest verification, and the merged
+entries replay into a byte-identical ``results_payload()`` regardless
+of merge order.
 
 Durability: every append is flushed and (by default) ``fsync``\\ ed, so a
 ``SIGKILL`` loses at most the points that were still in flight — never a
@@ -136,6 +146,8 @@ class JournalReadResult:
     header: Optional[Dict[str, Any]] = None
     entries: List[JournalEntry] = field(default_factory=list)
     skipped: int = 0  # corrupt / truncated / unknown lines dropped
+    torn_tail: bool = False  # expected SIGKILL damage: a truncated last line
+    reasons: List[str] = field(default_factory=list)  # one per skipped line
 
     def by_key(self) -> Dict[str, JournalEntry]:
         """First-write-wins map of journaled points by cache key."""
@@ -150,6 +162,11 @@ def _record_sha(record: Dict[str, Any]) -> str:
     return hashlib.sha256(canon.encode()).hexdigest()[:_SHA_LEN]
 
 
+def _entry_digest(entry: JournalEntry) -> str:
+    """Digest of what :meth:`Journal.merge` verifies: status + payload."""
+    return _record_sha({"status": entry.status, "payload": entry.payload})
+
+
 def _seal(record: Dict[str, Any]) -> str:
     """Serialize ``record`` with its integrity digest attached."""
     record = dict(record)
@@ -157,18 +174,24 @@ def _seal(record: Dict[str, Any]) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
 
 
-def _unseal(line: str) -> Optional[Dict[str, Any]]:
-    """Parse and verify one journal line; ``None`` if damaged."""
+def _unseal(line: str) -> Tuple[Optional[Dict[str, Any]], str]:
+    """Parse and verify one journal line.
+
+    Returns ``(record, "")`` on success, else ``(None, why)`` where
+    ``why`` is ``"unparseable"`` (the shape a mid-append kill tears a
+    line into) or ``"digest mismatch"`` (valid JSON whose content no
+    longer matches its own integrity digest).
+    """
     try:
         record = json.loads(line)
     except ValueError:
-        return None
+        return None, "unparseable"
     if not isinstance(record, dict):
-        return None
+        return None, "unparseable"
     sha = record.pop("sha", None)
     if sha != _record_sha(record):
-        return None
-    return record
+        return None, "digest mismatch"
+    return record, ""
 
 
 # ==========================================================================
@@ -250,61 +273,160 @@ class Journal:
     # ------------------------------------------------------------- reading
 
     @classmethod
-    def read(cls, path: str) -> JournalReadResult:
+    def read(cls, path: str, warn: bool = True) -> JournalReadResult:
         """Recover everything readable from a journal file.
 
-        Damaged lines — truncated by a kill mid-write, corrupted on
-        disk, or simply not journal records — are counted and skipped
-        with a single :class:`UserWarning`; the surviving entries are
-        returned in file order.  A missing file reads as empty.
+        Damaged lines — corrupted on disk, digest-mismatched, or simply
+        not journal records — are counted and skipped with a single
+        :class:`UserWarning` (suppressed with ``warn=False``; the
+        per-line diagnostics survive in ``reasons`` either way).  One
+        damage shape is *expected*: a ``SIGKILL`` mid-append tears the
+        final line into an unparseable fragment.  That torn tail is
+        skipped silently (``torn_tail=True``, not counted in
+        ``skipped``) because the in-flight point was never reported
+        complete and simply re-executes on resume.  The surviving
+        entries are returned in file order.  A missing file reads as
+        empty.
         """
         out = JournalReadResult()
         if not os.path.exists(path):
             return out
-        bad_reasons: List[str] = []
         with open(path, "r", encoding="utf-8") as fh:
-            for lineno, line in enumerate(fh, 1):
-                line = line.strip()
-                if not line:
-                    continue
-                record = _unseal(line)
-                if record is None:
-                    out.skipped += 1
-                    bad_reasons.append(f"line {lineno}: corrupt or truncated")
-                    continue
-                kind = record.get("kind")
-                if kind == "header":
-                    if out.header is None:
-                        out.header = record
-                    continue
-                if kind != "point":
-                    out.skipped += 1
-                    bad_reasons.append(f"line {lineno}: unknown kind {kind!r}")
-                    continue
-                try:
-                    entry = JournalEntry(
-                        key=record["key"],
-                        index=record["index"],
-                        status=record["status"],
-                        payload=record["payload"],
-                        attempts=record.get("attempts", 1),
-                        relaxation=record.get("relaxation", 0),
-                    )
-                    if entry.status not in STATUSES:
-                        raise KeyError(entry.status)
-                    entry.result()  # validate the payload decodes
-                except (KeyError, TypeError, ConfigError):
-                    out.skipped += 1
-                    bad_reasons.append(f"line {lineno}: malformed point record")
-                    continue
-                out.entries.append(entry)
-        if out.skipped:
+            lines = [
+                (lineno, stripped)
+                for lineno, raw in enumerate(fh, 1)
+                if (stripped := raw.strip())
+            ]
+        last_lineno = lines[-1][0] if lines else 0
+        # (lineno, diagnostic, unparseable?) per damaged line; the tail
+        # torn by a kill is recognised after the loop so interior damage
+        # keeps its warning even when the file *also* ends torn.
+        damaged: List[Tuple[int, str, bool]] = []
+        for lineno, line in lines:
+            record, why = _unseal(line)
+            if record is None:
+                damaged.append(
+                    (lineno, f"line {lineno}: {why}", why == "unparseable")
+                )
+                continue
+            kind = record.get("kind")
+            if kind == "header":
+                if out.header is None:
+                    out.header = record
+                continue
+            if kind != "point":
+                damaged.append(
+                    (lineno, f"line {lineno}: unknown kind {kind!r}", False)
+                )
+                continue
+            try:
+                entry = JournalEntry(
+                    key=record["key"],
+                    index=record["index"],
+                    status=record["status"],
+                    payload=record["payload"],
+                    attempts=record.get("attempts", 1),
+                    relaxation=record.get("relaxation", 0),
+                )
+                if entry.status not in STATUSES:
+                    raise KeyError(entry.status)
+                entry.result()  # validate the payload decodes
+            except (KeyError, TypeError, ConfigError):
+                damaged.append(
+                    (lineno, f"line {lineno}: malformed point record", False)
+                )
+                continue
+            out.entries.append(entry)
+        if damaged and damaged[-1][0] == last_lineno and damaged[-1][2]:
+            out.torn_tail = True
+            damaged.pop()
+        out.skipped = len(damaged)
+        out.reasons = [reason for _, reason, _ in damaged]
+        if out.skipped and warn:
             warnings.warn(
                 f"campaign journal {path!r}: skipped {out.skipped} damaged "
-                f"record(s) ({'; '.join(bad_reasons[:3])}"
-                f"{'; ...' if len(bad_reasons) > 3 else ''}); resuming from "
+                f"record(s) ({'; '.join(out.reasons[:3])}"
+                f"{'; ...' if len(out.reasons) > 3 else ''}); resuming from "
                 f"the {len(out.entries)} intact point(s)",
                 UserWarning,
                 stacklevel=2,
             )
         return out
+
+    # ------------------------------------------------------------- merging
+
+    @classmethod
+    def merge(cls, *paths: str, out: Optional[str] = None) -> JournalReadResult:
+        """Reconcile journals written by several runners of one spec.
+
+        Every readable header must agree on the campaign fingerprint
+        (mixed specs raise :class:`~repro.errors.ConfigError`), and at
+        least one input must carry an intact header.  Duplicate keys
+        resolve first-write-wins *in argument order*, but the winner is
+        verified against every loser: two records for one key whose
+        ``(status, payload)`` digests disagree mean the inputs came from
+        different worlds, and merging them silently would corrupt the
+        campaign — that also raises ``ConfigError``.  (``attempts`` /
+        ``relaxation`` may legitimately differ — a cache-hit checkpoint
+        journals attempt 1 — and are taken from the winner.)
+
+        Damaged lines across all inputs are aggregated into **one**
+        :class:`UserWarning`; torn tails stay silent exactly as in
+        :meth:`read`.  Because ``results_payload()`` orders by the spec
+        grid and duplicate keys must agree, the merged payload is
+        byte-identical regardless of merge order.
+
+        With ``out=``, the merged journal (header plus the winning
+        entry per key, re-sealed) is written to that path, ready for
+        ``repro campaign resume`` / ``status``.
+        """
+        merged = JournalReadResult()
+        seen: Dict[str, JournalEntry] = {}
+        for path in paths:
+            part = cls.read(path, warn=False)
+            merged.skipped += part.skipped
+            merged.torn_tail = merged.torn_tail or part.torn_tail
+            merged.reasons.extend(f"{path}: {r}" for r in part.reasons)
+            if part.header is not None:
+                if merged.header is None:
+                    merged.header = part.header
+                elif part.header.get("campaign") != merged.header.get("campaign"):
+                    raise ConfigError(
+                        f"journal {path!r} belongs to campaign "
+                        f"{part.header.get('campaign')!r}, not "
+                        f"{merged.header.get('campaign')!r}: refusing to mix "
+                        "checkpoints from different specs"
+                    )
+            for entry in part.entries:
+                prev = seen.get(entry.key)
+                if prev is None:
+                    seen[entry.key] = entry
+                    merged.entries.append(entry)
+                    continue
+                if (prev.status, prev.payload) != (entry.status, entry.payload):
+                    raise ConfigError(
+                        f"journal {path!r} disagrees with an earlier input on "
+                        f"key {entry.key!r}: digest "
+                        f"{_entry_digest(entry)} vs {_entry_digest(prev)} — "
+                        "these journals were not written by the same campaign"
+                    )
+        if merged.header is None:
+            raise ConfigError(
+                "none of the merged journals carries an intact header; "
+                "cannot establish which campaign they belong to"
+            )
+        if merged.skipped:
+            warnings.warn(
+                f"journal merge: skipped {merged.skipped} damaged record(s) "
+                f"across {len(paths)} journal(s) "
+                f"({'; '.join(merged.reasons[:3])}"
+                f"{'; ...' if len(merged.reasons) > 3 else ''})",
+                UserWarning,
+                stacklevel=2,
+            )
+        if out is not None:
+            with cls(out, fsync=False) as journal:
+                journal._append(dict(merged.header))
+                for entry in merged.entries:
+                    journal.append_point(entry)
+        return merged

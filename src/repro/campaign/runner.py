@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.campaign.journal import Journal, JournalEntry, encode_result
 from repro.campaign.queue import (
     PointRecord,
+    ShardExecutor,
     ShardResult,
     make_executor,
 )
@@ -63,6 +64,7 @@ class RunStats:
     failures: int = 0  # final status "failure" across the whole grid
     infeasible: int = 0  # final status "infeasible" across the whole grid
     shards: int = 0  # work units dispatched this run
+    reassigned: int = 0  # shards redispatched off dead/hung remote workers
     journaled_before: int = 0  # intact journal points found at startup
     journal_skipped: int = 0  # damaged journal lines dropped at startup
     wall_s: float = 0.0
@@ -142,6 +144,7 @@ def run_campaign(
     on_shard: Optional[ShardCallback] = None,
     throttle_s: float = 0.0,
     fsync: bool = True,
+    executor: Optional[ShardExecutor] = None,
 ) -> CampaignRun:
     """Execute (or resume) ``spec``, checkpointing into ``journal_path``.
 
@@ -155,6 +158,13 @@ def run_campaign(
     present (e.g. priced by an earlier campaign sharing this cache) are
     taken from it without execution, and everything priced here is put
     back for later campaigns.
+
+    ``executor`` overrides the ``workers``-based selection with a
+    pre-built :class:`~repro.campaign.queue.ShardExecutor` — this is how
+    a multi-host run hands in a listening
+    :class:`~repro.campaign.net.SocketShardExecutor`.  The runner owns
+    it from here (it is closed when the run ends) and lends it the
+    run's tracer unless it already carries one.
     """
     t0 = time.perf_counter()
     if shard_size < 1:
@@ -244,7 +254,11 @@ def run_campaign(
             )
 
         shards = _shard(pending, shard_size)
-        with make_executor(spec, workers, throttle_s) as executor:
+        if executor is None:
+            executor = make_executor(spec, workers, throttle_s)
+        if tr is not None and getattr(executor, "tracer", False) is None:
+            executor.tracer = tr  # lend the run's tracer to net executors
+        with executor:
             for shard_index, shard in enumerate(shards):
                 executor.submit(shard_index, shard)
             stats.shards = len(shards)
@@ -276,6 +290,7 @@ def run_campaign(
                     _emit_shard_span(tr, spec, result)
                 if on_shard is not None:
                     on_shard(shard_set, stats)
+            stats.reassigned = getattr(executor, "reassigned", 0)
     finally:
         journal.close()
 

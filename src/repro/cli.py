@@ -18,7 +18,11 @@ Commands
 ``campaign``          Distributed, resumable campaign execution
                       (``repro campaign run fig22 --journal j.jsonl``;
                       ``resume`` continues a killed run, ``status`` reads
-                      the journal without executing anything).
+                      the journal without executing anything and exits
+                      0/1/2 for complete/incomplete/complete-with-failures,
+                      ``run --serve HOST:PORT`` + ``worker --connect``
+                      fan shards over remote hosts, and ``merge``
+                      reconciles the journals they wrote).
 
 The heavy per-figure assertions live in ``benchmarks/``; the CLI renders
 the same data for interactive exploration.
@@ -29,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import socket
 import sys
 from functools import partial
 from typing import List, Optional
@@ -891,10 +896,46 @@ def _cmd_campaign(args) -> int:
                f"infeasible={counts['infeasible']} retried={retried})")
         if read.skipped:
             _print(f"damaged:   {read.skipped} line(s) skipped")
-        if total is not None and done >= total:
-            _print("state:     complete")
-        else:
+        # Exit codes CI can gate on: 0 = every point landed and the
+        # campaign is healthy; 1 = still resumable; 2 = all points
+        # landed but the results contain failures (or nothing priced).
+        if total is None or done < total:
             _print("state:     resumable (repro campaign resume ...)")
+            return 1
+        if counts["failure"] > 0 or counts["ok"] == 0:
+            _print(f"state:     complete (with {counts['failure']} failure(s), "
+                   f"{counts['ok']} ok)")
+            return 2
+        _print("state:     complete")
+        return 0
+
+    if args.action == "worker":
+        from repro.campaign.net import parse_address, run_worker
+
+        host, port = parse_address(args.connect)
+        name = args.name or f"{socket.gethostname()}-{os.getpid()}"
+        executed = run_worker(host, port, name=name,
+                              heartbeat_s=args.heartbeat_s)
+        _print(f"worker {name}: {executed} shard(s) executed")
+        return 0
+
+    if args.action == "merge":
+        merged = Journal.merge(*args.journals, out=args.journal)
+        by_key = merged.by_key()
+        counts = {"ok": 0, "failure": 0, "infeasible": 0}
+        for entry in by_key.values():
+            counts[entry.status] += 1
+        header = merged.header or {}
+        _print(f"merged:    {len(args.journals)} journal(s), "
+               f"{len(by_key)} distinct point(s) "
+               f"(ok={counts['ok']} failure={counts['failure']} "
+               f"infeasible={counts['infeasible']})")
+        _print(f"campaign:  {header.get('name', '?')} "
+               f"({header.get('campaign', '?')})")
+        if merged.skipped:
+            _print(f"damaged:   {merged.skipped} line(s) skipped")
+        if args.journal:
+            _print(f"merged journal written to {args.journal}")
         return 0
 
     if args.experiment is None:
@@ -923,6 +964,22 @@ def _cmd_campaign(args) -> int:
             f"({stats.executed} executed, {stats.retried} retried)"
         )
 
+    executor = None
+    if args.serve:
+        from repro.campaign.net import SocketShardExecutor, parse_address
+
+        host, port = parse_address(args.serve)
+        executor = SocketShardExecutor(
+            spec,
+            host=host,
+            port=port,
+            min_workers=args.min_workers,
+            lease_timeout_s=args.lease_timeout_s,
+            throttle_s=args.throttle_ms / 1000.0,
+        )
+        _print(f"serving shards on {executor.address[0]}:{executor.address[1]} "
+               f"(waiting for {args.min_workers} worker(s))")
+
     run = run_campaign(
         spec,
         args.journal,
@@ -931,6 +988,7 @@ def _cmd_campaign(args) -> int:
         resume=True if args.action == "resume" else None,
         on_shard=on_shard,
         throttle_s=args.throttle_ms / 1000.0,
+        executor=executor,
     )
     s = run.stats
     _print(render_table(
@@ -1093,57 +1151,117 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign",
         help="distributed, resumable campaign execution over a journal",
     )
-    p_campaign.add_argument("action", choices=("run", "resume", "status"))
-    p_campaign.add_argument(
-        "experiment", nargs="?", default=None,
-        help="campaign to execute (fig22, halo); not needed for status",
+    campaign_sub = p_campaign.add_subparsers(dest="action", required=True)
+
+    def _campaign_exec_parser(action: str, help_text: str):
+        p = campaign_sub.add_parser(action, help=help_text)
+        p.add_argument(
+            "experiment", nargs="?", default=None,
+            help="campaign to execute (fig22, halo)",
+        )
+        p.add_argument(
+            "--journal", default="campaign.jsonl", metavar="PATH",
+            help="append-only checkpoint journal (default campaign.jsonl)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="process-pool workers (default: serial)",
+        )
+        p.add_argument(
+            "--shard-size", type=int, default=4, metavar="K",
+            help="points per work unit (default 4)",
+        )
+        p.add_argument(
+            "--out", default=None, metavar="PATH",
+            help="write the canonical results payload as JSON",
+        )
+        p.add_argument(
+            "--stats", default=None, metavar="PATH",
+            help="write the run stats as JSON",
+        )
+        p.add_argument(
+            "--throttle-ms", type=float, default=0.0, metavar="MS",
+            help="sleep per point (execution pacing for kill tests; "
+            "never affects results)",
+        )
+        p.add_argument(
+            "--faults", default=None, metavar="demo|FILE",
+            help="fault plan: 'demo' for the experiment's built-in plan, "
+            "or a JSON plan file",
+        )
+        p.add_argument(
+            "--retries", type=int, default=2, metavar="N",
+            help="max attempts per failing point (default 2); retries run "
+            "under a progressively relaxed fault plan",
+        )
+        p.add_argument(
+            "--quick", action="store_true", help="small grids (CI smoke mode)"
+        )
+        p.add_argument(
+            "--grid", default="DLRF6-Medium", metavar="NAME",
+            help="OVERFLOW dataset for fig22 (default DLRF6-Medium)",
+        )
+        p.add_argument("--fabric", default="host", choices=("host", "phi"))
+        p.add_argument(
+            "--tpc", type=int, default=3, choices=(1, 2, 3, 4),
+            help="threads/core for the phi fabric (halo experiment)",
+        )
+        p.add_argument(
+            "--serve", default=None, metavar="HOST:PORT",
+            help="serve shards to remote 'repro campaign worker' processes "
+            "instead of executing locally (port 0 picks a free port)",
+        )
+        p.add_argument(
+            "--min-workers", type=int, default=1, metavar="N",
+            help="with --serve: hold dispatch until N workers registered",
+        )
+        p.add_argument(
+            "--lease-timeout-s", type=float, default=30.0, metavar="S",
+            help="with --serve: reassign a shard whose worker neither "
+            "finishes nor heartbeats for S seconds (default 30)",
+        )
+        return p
+
+    _campaign_exec_parser("run", "execute a campaign (fresh or resumed)")
+    _campaign_exec_parser("resume", "resume a campaign (requires a journal)")
+
+    p_status = campaign_sub.add_parser(
+        "status",
+        help="inspect a journal: exit 0 complete-ok, 1 incomplete, "
+        "2 complete-with-failures",
     )
-    p_campaign.add_argument(
+    p_status.add_argument(
         "--journal", default="campaign.jsonl", metavar="PATH",
-        help="append-only checkpoint journal (default campaign.jsonl)",
+        help="journal to inspect (default campaign.jsonl)",
     )
-    p_campaign.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="process-pool workers (default: serial)",
+
+    p_worker = campaign_sub.add_parser(
+        "worker", help="serve shards for a remote campaign server"
     )
-    p_campaign.add_argument(
-        "--shard-size", type=int, default=4, metavar="K",
-        help="points per work unit (default 4)",
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="campaign server to pull shards from",
     )
-    p_campaign.add_argument(
-        "--out", default=None, metavar="PATH",
-        help="write the canonical results payload as JSON",
+    p_worker.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="worker name in server logs and trace lanes (default: host+pid)",
     )
-    p_campaign.add_argument(
-        "--stats", default=None, metavar="PATH",
-        help="write the run stats as JSON",
+    p_worker.add_argument(
+        "--heartbeat-s", type=float, default=2.0, metavar="S",
+        help="lease-renewal heartbeat period while executing (default 2)",
     )
-    p_campaign.add_argument(
-        "--throttle-ms", type=float, default=0.0, metavar="MS",
-        help="sleep per point (execution pacing for kill tests; "
-        "never affects results)",
+
+    p_merge = campaign_sub.add_parser(
+        "merge", help="reconcile journals from several runners of one spec"
     )
-    p_campaign.add_argument(
-        "--faults", default=None, metavar="demo|FILE",
-        help="fault plan: 'demo' for the experiment's built-in plan, "
-        "or a JSON plan file",
+    p_merge.add_argument(
+        "journals", nargs="+", metavar="JOURNAL",
+        help="input journals (first-write-wins in argument order)",
     )
-    p_campaign.add_argument(
-        "--retries", type=int, default=2, metavar="N",
-        help="max attempts per failing point (default 2); retries run "
-        "under a progressively relaxed fault plan",
-    )
-    p_campaign.add_argument(
-        "--quick", action="store_true", help="small grids (CI smoke mode)"
-    )
-    p_campaign.add_argument(
-        "--grid", default="DLRF6-Medium", metavar="NAME",
-        help="OVERFLOW dataset for fig22 (default DLRF6-Medium)",
-    )
-    p_campaign.add_argument("--fabric", default="host", choices=("host", "phi"))
-    p_campaign.add_argument(
-        "--tpc", type=int, default=3, choices=(1, 2, 3, 4),
-        help="threads/core for the phi fabric (halo experiment)",
+    p_merge.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write the merged journal here (resumable/status-able); "
+        "omit to just validate and summarize",
     )
 
     args = parser.parse_args(argv)

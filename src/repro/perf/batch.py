@@ -29,7 +29,11 @@ except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
     _np = None
     HAVE_NUMPY = False
 
-_warned = False
+# Contexts that already warned this process.  Per-context (not one
+# global bool) so the first campaign to fall back cannot swallow the
+# warning a *different* subsystem owes its own users later in the same
+# process — and so warning-capturing tests cannot order-depend.
+_warned: set = set()
 
 
 def get_numpy() -> Optional[Any]:
@@ -37,18 +41,22 @@ def get_numpy() -> Optional[Any]:
     return _np
 
 
-def reset_fallback_warning() -> None:
-    """Re-arm the once-per-process fallback warning (test hook)."""
-    global _warned
-    _warned = False
+def reset_fallback_warning(context: Optional[str] = None) -> None:
+    """Re-arm the fallback warning (test hook).
+
+    With no argument every context re-arms; naming one re-arms just it.
+    """
+    if context is None:
+        _warned.clear()
+    else:
+        _warned.discard(context)
 
 
 def warn_scalar_fallback(context: str) -> None:
-    """Warn (once per process) that ``context`` fell back to scalar loops."""
-    global _warned
-    if _warned:
+    """Warn — once per process *per context* — about a scalar fallback."""
+    if context in _warned:
         return
-    _warned = True
+    _warned.add(context)
     warnings.warn(
         f"numpy is not installed; {context} falls back to per-point scalar "
         "evaluation (identical results, slower). Install the 'fast' extra "

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
@@ -65,6 +66,36 @@ def _code_digest(code: Any) -> str:
         else:
             h.update(repr(const).encode())
     return h.hexdigest()
+
+
+def _module_token(obj: Any) -> str:
+    """The module part of a callable's fingerprint, spawn-normalized.
+
+    The entry script imports as ``__main__`` in the parent process but
+    as ``__mp_main__`` inside ``spawn`` workers (and as its plain module
+    name on remote hosts that import it) — so keying on the raw
+    ``__module__`` would give the *same function* different cache keys
+    on different sides of a process boundary, silently defeating the
+    shared journal/cache keys the campaign layer depends on.  Both
+    aliases normalize to ``__entry__[<script basename>]``, which is
+    identical in parent and worker.  A main-module callable with no
+    resolvable source file (``exec``/interactive) cannot be normalized
+    and is refused loudly rather than mis-keyed.
+    """
+    module = getattr(obj, "__module__", "?")
+    if module not in ("__main__", "__mp_main__"):
+        return str(module)
+    src = getattr(obj, "__globals__", {}).get("__file__")
+    if not src:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"cannot fingerprint {getattr(obj, '__qualname__', obj)!r}: it is "
+            f"defined in {module} with no source file, so its cache key "
+            "would differ across spawn workers. Move it into an importable "
+            "module (or run the defining script as a file, not exec/stdin)."
+        )
+    return f"__entry__[{os.path.basename(src)}]"
 
 
 def _canonical(obj: Any, out: list, _seen: Optional[Set[int]] = None) -> None:
@@ -152,7 +183,7 @@ def _canonical_composite(obj: Any, out: list, _seen: Set[int]) -> None:
         # and closure contents — not memory addresses — so the same rank
         # program fingerprints identically across interpreter runs while
         # any edit to its body or captured state changes the key.
-        module = getattr(obj, "__module__", "?")
+        module = _module_token(obj)
         qualname = getattr(obj, "__qualname__", repr(obj))
         out.append(f"fn:{module}.{qualname}(code:{_code_digest(obj.__code__)};")
         _canonical(getattr(obj, "__defaults__", None), out, _seen)
@@ -166,7 +197,7 @@ def _canonical_composite(obj: Any, out: list, _seen: Set[int]) -> None:
     elif callable(obj):
         # C-level callables have no inspectable code: identity of their
         # code location is the best stable key available.
-        module = getattr(obj, "__module__", "?")
+        module = _module_token(obj)
         qualname = getattr(obj, "__qualname__", repr(obj))
         out.append(f"fn:{module}.{qualname};")
     else:

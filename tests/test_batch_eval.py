@@ -93,7 +93,7 @@ def test_scalar_fallback_matches_numpy_path(phi, monkeypatch, recwarn):
     counts = [0, 59, 118, 177, 236, 500]
     fast = kernel_time_batch(kern, phi, counts, check_memory=False)
     monkeypatch.setattr(batch_mod, "HAVE_NUMPY", False)
-    monkeypatch.setattr(gate, "_warned", False)
+    gate.reset_fallback_warning()
     slow = kernel_time_batch(kern, phi, counts, check_memory=False)
     slow2 = kernel_time_batch(kern, phi, counts, check_memory=False)
     warnings = [w for w in recwarn.list if "numpy is not installed" in str(w.message)]

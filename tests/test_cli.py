@@ -161,3 +161,103 @@ class TestCampaign:
         rc, out = run_cli(capsys, "campaign", "run")
         assert rc == 2
         assert "needs an experiment" in out
+
+    def test_status_distinguishes_incomplete_and_failed(self, capsys, tmp_path):
+        # Exit codes CI gates on: 1 = resumable, 2 = complete but the
+        # results contain failures, 0 = complete and healthy.
+        from repro.campaign import Journal, JournalEntry
+        from repro.campaign.journal import encode_result
+        from repro.core.results import Failure, Measurement
+
+        path = str(tmp_path / "j.jsonl")
+        with Journal(path) as j:
+            j.write_header("fp", "toy", total=2)
+            j.append_point(JournalEntry(
+                key="k0", index=0, status="ok",
+                payload=encode_result(
+                    Measurement(name="pt", time=1e-6, config={})
+                ),
+            ))
+        rc, out = run_cli(capsys, "campaign", "status", "--journal", path)
+        assert rc == 1
+        assert "resumable" in out
+        with Journal(path) as j:
+            j.append_point(JournalEntry(
+                key="k1", index=1, status="failure",
+                payload=encode_result(Failure(
+                    point=(1,), error="SimulationError", message="died",
+                    when=0.0,
+                )),
+            ))
+        rc, out = run_cli(capsys, "campaign", "status", "--journal", path)
+        assert rc == 2
+        assert "complete (with 1 failure(s)" in out
+        assert "ok=1 failure=1" in out
+
+    def test_worker_cli_serves_an_in_process_campaign(self, capsys, tmp_path):
+        import threading
+
+        from repro.campaign import run_campaign
+        from repro.campaign.experiments import build_spec
+        from repro.campaign.net import SocketShardExecutor
+
+        spec = build_spec("halo", quick=True)
+        ex = SocketShardExecutor(spec)
+        host, port = ex.address
+        outcome = {}
+
+        def _serve():
+            outcome["run"] = run_campaign(
+                spec, str(tmp_path / "j.jsonl"), executor=ex
+            )
+
+        server = threading.Thread(target=_serve, daemon=True)
+        server.start()
+        rc, out = run_cli(
+            capsys, "campaign", "worker",
+            "--connect", f"{host}:{port}", "--name", "cli-worker",
+        )
+        server.join(timeout=10.0)
+        assert rc == 0
+        assert "shard(s) executed" in out
+        assert outcome["run"].stats.executed == len(spec.points)
+
+    def test_merge_reconciles_split_journals(self, capsys, tmp_path):
+        # Two journals covering half the campaign each — the multi-
+        # runner shape — merge into one that resumes to a byte-identical
+        # payload with zero re-execution.
+        import json as _json
+
+        from repro.campaign import Journal
+
+        journal = str(tmp_path / "full.jsonl")
+        out_full = str(tmp_path / "full.json")
+        rc, _ = run_cli(
+            capsys, "campaign", "run", "halo", "--quick",
+            "--journal", journal, "--out", out_full,
+        )
+        assert rc == 0
+        read = Journal.read(journal)
+        halves = []
+        for tag, entries in (("a", read.entries[::2]), ("b", read.entries[1::2])):
+            path = str(tmp_path / f"half-{tag}.jsonl")
+            with Journal(path) as j:
+                j._append(dict(read.header))
+                for e in entries:
+                    j.append_point(e)
+            halves.append(path)
+        merged = str(tmp_path / "merged.jsonl")
+        rc, out = run_cli(
+            capsys, "campaign", "merge", *halves, "--journal", merged,
+        )
+        assert rc == 0
+        assert "6 distinct point(s)" in out
+        out_merged = str(tmp_path / "merged.json")
+        stats_path = str(tmp_path / "stats.json")
+        rc, _ = run_cli(
+            capsys, "campaign", "resume", "halo", "--quick",
+            "--journal", merged, "--out", out_merged, "--stats", stats_path,
+        )
+        assert rc == 0
+        assert open(out_full).read() == open(out_merged).read()
+        assert _json.load(open(stats_path))["executed"] == 0

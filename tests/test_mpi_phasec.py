@@ -291,6 +291,33 @@ def test_scalar_fallback_warns_once_without_numpy(monkeypatch):
         reset_fallback_warning()
 
 
+def test_fallback_warning_gate_is_per_context():
+    # One subsystem tripping the fallback must not swallow the warning
+    # a *different* subsystem owes its users later in the same process —
+    # and re-warning the same context stays silenced until reset.
+    import warnings as _warnings
+
+    from repro.perf.batch import warn_scalar_fallback
+
+    reset_fallback_warning()
+    try:
+        with pytest.warns(UserWarning, match="phase-compiled"):
+            warn_scalar_fallback("phase-compiled job pricing")
+        with pytest.warns(UserWarning, match="batch kernel"):
+            warn_scalar_fallback("batch kernel pricing")  # distinct context
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            warn_scalar_fallback("phase-compiled job pricing")  # silenced
+        reset_fallback_warning("phase-compiled job pricing")
+        with pytest.warns(UserWarning, match="phase-compiled"):
+            warn_scalar_fallback("phase-compiled job pricing")  # re-armed
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            warn_scalar_fallback("batch kernel pricing")  # still silenced
+    finally:
+        reset_fallback_warning()
+
+
 # ---------------------------------------------------------------- routing
 
 

@@ -254,7 +254,7 @@ class TestCallableFingerprint:
         assert fingerprint(a) != fingerprint(b)
         assert fingerprint(a) != fingerprint(a.astype(np.float32))
 
-    def test_stable_across_interpreters_and_hash_seeds(self):
+    def test_stable_across_interpreters_and_hash_seeds(self, tmp_path):
         """The digest must survive hash randomization and process
         boundaries, or MpiJob memo keys would rot between runs."""
         import os
@@ -264,7 +264,8 @@ class TestCallableFingerprint:
 
         import repro
 
-        script = textwrap.dedent(
+        script = tmp_path / "probe.py"
+        script.write_text(textwrap.dedent(
             """
             from functools import partial
             from repro.perf.cache import fingerprint
@@ -276,18 +277,103 @@ class TestCallableFingerprint:
             print(fingerprint(partial(halo, 4096)))
             print(fingerprint({"a": 1, "b": (2.5, frozenset({"x", "y"}))}))
             """
-        )
+        ))
         src_dir = os.path.dirname(os.path.dirname(repro.__file__))
         outs = []
         for seed in ("0", "424242"):
             env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src_dir)
             proc = subprocess.run(
-                [sys.executable, "-c", script],
+                [sys.executable, str(script)],
                 capture_output=True, text=True, env=env, check=True,
             )
             outs.append(proc.stdout)
         assert outs[0] == outs[1]
         assert outs[0].strip()
+
+
+class TestSpawnFingerprint:
+    """`__main__` callables must share keys across process boundaries.
+
+    An entry script imports as ``__main__`` in the parent but as
+    ``__mp_main__`` inside ``spawn`` workers (and multi-host campaign
+    workers re-import it again) — with the raw module name in the key,
+    the same function would fingerprint differently on each side,
+    silently splitting journal/cache keys.  Both aliases normalize to a
+    token derived from the script's basename; main-module callables
+    with no source file at all are refused loudly instead of mis-keyed.
+    """
+
+    def test_main_and_mp_main_normalize_identically(self):
+        import types
+
+        def probe(x):
+            return x + 1
+
+        prints = {}
+        for module in ("__main__", "__mp_main__"):
+            clone = types.FunctionType(
+                probe.__code__,
+                {"__file__": "/somewhere/entry.py"},
+                probe.__name__,
+            )
+            clone.__module__ = module
+            clone.__qualname__ = probe.__qualname__
+            prints[module] = fingerprint(clone)
+        assert prints["__main__"] == prints["__mp_main__"]
+
+    def test_spawn_worker_computes_the_same_key(self, tmp_path):
+        # The real thing: a script fingerprints one of its own functions
+        # in-process and inside a spawn worker; the keys must agree.
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        import repro
+
+        script = tmp_path / "spawnprobe.py"
+        script.write_text(textwrap.dedent(
+            """
+            import multiprocessing as mp
+            import sys
+
+            from repro.perf.cache import fingerprint
+
+            def probe(point, plan):
+                return point * 2
+
+            def compute(_):
+                return fingerprint("campaign", probe)
+
+            if __name__ == "__main__":
+                ctx = mp.get_context("spawn")
+                with ctx.Pool(1) as pool:
+                    remote = pool.map(compute, [0])[0]
+                local = fingerprint("campaign", probe)
+                print(local)
+                print(remote)
+                sys.exit(0 if local == remote else 3)
+            """
+        ))
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ, PYTHONPATH=src_dir)
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, (
+            f"spawn worker disagreed on the key:\n{proc.stdout}{proc.stderr}"
+        )
+
+    def test_sourceless_main_callable_is_refused(self):
+        from repro.errors import ConfigError
+
+        namespace = {}
+        exec("def ephemeral(x):\n    return x", namespace)
+        fn = namespace["ephemeral"]
+        fn.__module__ = "__main__"
+        with pytest.raises(ConfigError, match="importable module"):
+            fingerprint(fn)
 
 
 # --------------------------------------------------------------------------
